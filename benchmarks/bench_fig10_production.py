@@ -1,0 +1,183 @@
+"""Figure 10: quality and performance gains of the production fleet.
+
+Runs a zero-touch H2O-NAS search for each of five production CV models
+and five production DLRMs (quality from the calibrated surrogates,
+performance from the hardware simulator), with training performance as
+the primary objective and the ReLU reward.  Quality is weighted first,
+matching the paper's "quality is always the first priority".
+
+Claims reproduced: average training-performance gain around the
+paper's 1.29x (CV) and 1.22x (DLRM); CV quality clearly improves
+(paper: +2.83pp); DLRM quality stays neutral within hundredths of a
+point (paper reports +0.12pp — our surrogate prices the forced speedup
+slightly differently; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    PerformanceObjective,
+    SearchConfig,
+    SingleStepSearch,
+    SurrogateSuperNetwork,
+    relu_reward,
+)
+from repro.data import NullSource, SingleStepPipeline
+from repro.hardware import TPU_V4, simulate
+from repro.models import coatnet as coatnet_mod
+from repro.models import dlrm as dlrm_mod
+from repro.models.production import (
+    apply_cv_architecture,
+    cv_production_fleet,
+    cv_search_space,
+    dlrm_production_fleet,
+)
+from repro.models.timing import DlrmTimingHarness
+from repro.quality import DlrmQualityModel, coatnet_quality
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+
+from .common import emit
+
+CV_BATCH = 32
+QUALITY_WEIGHT = 4.0
+DLRM_QUALITY_WEIGHT = 8.0
+
+
+def search_cv_model(baseline, seed=0):
+    space = cv_search_space()
+    base_time = simulate(
+        coatnet_mod.build_graph(baseline, batch=CV_BATCH), TPU_V4
+    ).total_time_s
+    cache = {}
+
+    def perf_fn(arch):
+        if arch not in cache:
+            config = apply_cv_architecture(baseline, arch)
+            time = simulate(coatnet_mod.build_graph(config, batch=CV_BATCH), TPU_V4).total_time_s
+            cache[arch] = {"train_step_time": time}
+        return cache[arch]
+
+    def quality_fn(arch):
+        return coatnet_quality(apply_cv_architecture(baseline, arch))
+
+    # "H2O-NAS always targets better performance, with neutral or better
+    # quality" (Section 7.1): the launch target demands a faster model.
+    target_time = base_time * 0.70
+    search = SingleStepSearch(
+        space=space,
+        supernet=SurrogateSuperNetwork(
+            lambda a: QUALITY_WEIGHT * quality_fn(a), noise_sigma=0.01, seed=seed
+        ),
+        pipeline=SingleStepPipeline(NullSource().next_batch),
+        reward_fn=relu_reward(
+            [PerformanceObjective("train_step_time", target_time, beta=-6.0)]
+        ),
+        performance_fn=perf_fn,
+        config=SearchConfig(
+            steps=150, num_cores=8, warmup_steps=10, policy_lr=0.15,
+            policy_entropy_coef=0.1, record_candidates=False, seed=seed,
+        ),
+    )
+    final = search.run().final_architecture
+    return {
+        "perf_gain": base_time / perf_fn(final)["train_step_time"],
+        "quality_gain": quality_fn(final) - coatnet_quality(baseline),
+    }
+
+
+def search_dlrm_model(baseline, seeds=(0, 1)):
+    """Run the DLRM search once per seed and keep the best-reward model,
+    as production searches retain the best of several runs."""
+    outcomes = [_search_dlrm_once(baseline, seed) for seed in seeds]
+    return max(outcomes, key=lambda o: o.pop("reward"))
+
+
+def _search_dlrm_once(baseline, seed):
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=len(baseline.tables), num_dense_stacks=2)
+    )
+    harness = DlrmTimingHarness(baseline, seed=seed)
+    quality_model = DlrmQualityModel(baseline)
+    base_time = harness.simulate(space.default_architecture())[0]
+    cache = {}
+
+    def perf_fn(arch):
+        if arch not in cache:
+            cache[arch] = {"train_step_time": harness.simulate(arch)[0]}
+        return cache[arch]
+
+    def quality_fn(arch):
+        return quality_model.quality(dlrm_mod.apply_architecture(baseline, arch))
+
+    # The launch target demands a faster training step than baseline.
+    target_time = base_time * 0.90
+    search = SingleStepSearch(
+        space=space,
+        supernet=SurrogateSuperNetwork(
+            lambda a: DLRM_QUALITY_WEIGHT * quality_fn(a), noise_sigma=0.01, seed=seed
+        ),
+        pipeline=SingleStepPipeline(NullSource().next_batch),
+        reward_fn=relu_reward(
+            [PerformanceObjective("train_step_time", target_time, beta=-6.0)]
+        ),
+        performance_fn=perf_fn,
+        config=SearchConfig(
+            steps=350, num_cores=8, warmup_steps=10, policy_lr=0.12,
+            policy_entropy_coef=0.12, record_candidates=False, seed=seed,
+        ),
+    )
+    final = search.run().final_architecture
+    final_time = perf_fn(final)["train_step_time"]
+    reward = search.reward_fn(
+        DLRM_QUALITY_WEIGHT * quality_fn(final), {"train_step_time": final_time}
+    )
+    return {
+        "perf_gain": base_time / final_time,
+        "quality_gain": quality_fn(final) - quality_model.quality(baseline),
+        "reward": reward,
+    }
+
+
+def run():
+    results = {}
+    for label, baseline in cv_production_fleet().items():
+        results[label] = search_cv_model(baseline)
+    for label, baseline in dlrm_production_fleet().items():
+        results[label] = search_dlrm_model(baseline)
+    table = format_table(
+        ["model", "training perf gain", "quality gain (pp)"],
+        [
+            [label, f"{r['perf_gain']:.2f}x", f"{r['quality_gain']:+.3f}"]
+            for label, r in results.items()
+        ],
+    )
+    cv_gains = [results[f"CV{i}"] for i in range(1, 6)]
+    dlrm_gains = [results[f"DLRM{i}"] for i in range(1, 6)]
+    table += (
+        f"\n\nCV average: {np.mean([g['perf_gain'] for g in cv_gains]):.2f}x perf"
+        f" (paper 1.29x), {np.mean([g['quality_gain'] for g in cv_gains]):+.2f}pp quality (paper +2.83pp)"
+        f"\nDLRM average: {np.mean([g['perf_gain'] for g in dlrm_gains]):.2f}x perf"
+        f" (paper 1.22x), {np.mean([g['quality_gain'] for g in dlrm_gains]):+.3f}pp quality (paper +0.12pp)"
+    )
+    emit("fig10_production", table)
+    return results
+
+
+def test_fig10_production(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    cv = [results[f"CV{i}"] for i in range(1, 6)]
+    dlrm = [results[f"DLRM{i}"] for i in range(1, 6)]
+    # Quality first: every optimized model is neutral or better
+    # (neutral = within ~0.1pp on the surrogate's scale).
+    for r in results.values():
+        assert r["quality_gain"] > -0.12
+    # Fleet-average gains near the paper's 1.29x / 1.22x.
+    assert 1.05 < np.mean([r["perf_gain"] for r in cv]) < 2.2
+    assert 1.02 < np.mean([r["perf_gain"] for r in dlrm]) < 1.8
+    # CV quality clearly improves; DLRM quality stays neutral (the
+    # paper reports +0.12pp — see EXPERIMENTS.md for the gap note).
+    assert np.mean([r["quality_gain"] for r in cv]) > 0.1
+    assert abs(np.mean([r["quality_gain"] for r in dlrm])) < 0.05

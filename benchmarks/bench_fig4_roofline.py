@@ -1,0 +1,65 @@
+"""Figure 4b/4c: rooflines and latencies of MBConv vs fused MBConv on TPUv4i.
+
+Paper claims reproduced here:
+* fused MBConv always has the higher operational intensity and attained
+  FLOPS (throughput) — Figure 4b;
+* latency depends on throughput *and* total FLOPs, so F-MBC(32) is
+  faster than MBC(32) while F-MBC(128) is slower than MBC(128) —
+  Figure 4c's crossover.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.hardware import TPU_V4I, roofline_point, simulate
+from repro.models import MbconvSpec, single_block_graph
+
+from .common import emit
+
+DEPTHS = (16, 32, 64, 96, 128, 192, 256)
+RESOLUTION = 56
+BATCH = 64
+
+
+def block_stats(block_type: str, depth: int):
+    spec = MbconvSpec(block_type, depth, depth, se_ratio=0.0)
+    graph = single_block_graph(spec, RESOLUTION, batch=BATCH)
+    result = simulate(graph, TPU_V4I)
+    intensity = graph.total_flops / graph.total_bytes
+    return {
+        "block": f"{'F-MBC' if block_type == 'fused_mbconv' else 'MBC'}({depth})",
+        "intensity": intensity,
+        "attained_tflops": result.achieved_tflops,
+        "latency_ms": result.total_time_s * 1e3,
+        "gflops": graph.total_flops / 1e9,
+    }
+
+
+def run():
+    rows = []
+    for depth in DEPTHS:
+        for block_type in ("mbconv", "fused_mbconv"):
+            rows.append(block_stats(block_type, depth))
+    table = format_table(
+        ["block", "op intensity (FLOPs/B)", "attained TFLOP/s", "total GFLOPs", "latency (ms)"],
+        [
+            [r["block"], r["intensity"], r["attained_tflops"], r["gflops"], r["latency_ms"]]
+            for r in rows
+        ],
+    )
+    emit("fig4_roofline", table)
+    return {r["block"]: r for r in rows}
+
+
+def test_fig4_roofline(benchmark):
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Figure 4b: fused blocks always achieve higher intensity + FLOPS.
+    for depth in DEPTHS:
+        assert stats[f"F-MBC({depth})"]["intensity"] > stats[f"MBC({depth})"]["intensity"]
+        assert (
+            stats[f"F-MBC({depth})"]["attained_tflops"]
+            > stats[f"MBC({depth})"]["attained_tflops"]
+        )
+    # Figure 4c: the latency crossover between depth 32 and depth 128.
+    assert stats["F-MBC(32)"]["latency_ms"] < stats["MBC(32)"]["latency_ms"]
+    assert stats["F-MBC(128)"]["latency_ms"] > stats["MBC(128)"]["latency_ms"]

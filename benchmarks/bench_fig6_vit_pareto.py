@@ -1,0 +1,87 @@
+"""Figure 6: Pareto fronts of CoAtNet-H vs CoAtNet at three data scales.
+
+For each pretraining-dataset size (SD = ImageNet-1K, MD = ImageNet-21K,
+LD = JFT-300M) the figure plots ImageNet top-1 accuracy against TPUv4
+training throughput for both families.  The claim reproduced: the
+CoAtNet-H family improves the Pareto front — ~1.5-2x better training
+throughput at neutral accuracy — at every data scale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_scatter, format_table, geometric_mean, pareto_front
+from repro.hardware import TPU_V4, simulate
+from repro.models import COATNET, COATNET_H
+from repro.models.coatnet import build_graph
+from repro.quality import coatnet_quality
+
+from .common import emit
+
+BATCH = 64
+DATASETS = ("small", "medium", "large")
+
+
+def family_points(family, dataset):
+    points = {}
+    for idx, config in family.items():
+        graph = build_graph(config, batch=BATCH)
+        throughput = BATCH / simulate(graph, TPU_V4).total_time_s
+        points[idx] = (coatnet_quality(config, dataset), throughput)
+    return points
+
+
+def run():
+    results = {}
+    lines = []
+    for dataset in DATASETS:
+        base = family_points(COATNET, dataset)
+        searched = family_points(COATNET_H, dataset)
+        results[dataset] = {"base": base, "h": searched}
+        for idx in COATNET:
+            lines.append(
+                [
+                    dataset,
+                    f"H-{idx} vs C-H-{idx}",
+                    f"{base[idx][0]:.1f}",
+                    f"{searched[idx][0]:.1f}",
+                    f"{base[idx][1]:.0f}",
+                    f"{searched[idx][1]:.0f}",
+                    f"{searched[idx][1] / base[idx][1]:.2f}x",
+                ]
+            )
+    table = format_table(
+        ["dataset", "pair", "acc base", "acc H", "img/s base", "img/s H", "speedup"],
+        lines,
+    )
+    table += "\n\nlarge-data (JFT) Pareto plane:\n" + ascii_scatter(
+        {
+            "coatnet": list(results["large"]["base"].values()),
+            "h2o (coatnet-h)": list(results["large"]["h"].values()),
+        },
+        x_label="top-1 accuracy",
+        y_label="img/s/chip",
+    )
+    emit("fig6_vit_pareto", table)
+    return results
+
+
+def test_fig6_vit_pareto(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for dataset in DATASETS:
+        base = results[dataset]["base"]
+        searched = results[dataset]["h"]
+        speedups = [searched[i][1] / base[i][1] for i in base]
+        # Family-wide training-throughput gain around the paper's 1.54x.
+        assert 1.3 < geometric_mean(speedups) < 2.6
+        # Neutral accuracy per member.
+        for idx in base:
+            assert abs(searched[idx][0] - base[idx][0]) < 0.6
+        # The combined Pareto front is dominated by H members.
+        combined = [("base", idx, *base[idx]) for idx in base] + [
+            ("h", idx, *searched[idx]) for idx in searched
+        ]
+        front = pareto_front(
+            combined, quality=lambda p: p[2], cost=lambda p: -p[3]
+        )
+        h_on_front = sum(1 for p in front if p[0] == "h")
+        assert h_on_front >= len(front) * 0.5

@@ -1,0 +1,84 @@
+"""Table 2: model characteristics and hardware configurations.
+
+Regenerates the parameter-count and FLOP ranges of the three domains
+(ViT/CoAtNet, DLRM, CNN/EfficientNet-X) from the implemented model
+families, together with the training/serving hardware assignment.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.models import COATNET, EFFICIENTNET_X, baseline_production_dlrm
+from repro.models import coatnet, dlrm, efficientnet
+
+from .common import emit
+
+
+def family_ranges():
+    coatnet_params = [coatnet.num_params(c) / 1e6 for c in COATNET.values()]
+    coatnet_flops = [
+        coatnet.build_graph(c, batch=1).total_flops / 1e9 for c in COATNET.values()
+    ]
+    enet_params = [efficientnet.num_params(c) / 1e6 for c in EFFICIENTNET_X.values()]
+    enet_flops = [
+        efficientnet.build_graph(c, batch=1).total_flops / 1e9
+        for c in EFFICIENTNET_X.values()
+    ]
+    dlrm_spec = baseline_production_dlrm()
+    return {
+        "vit": {
+            "params_m": (min(coatnet_params), max(coatnet_params)),
+            "flops_b": (min(coatnet_flops), max(coatnet_flops)),
+        },
+        "dlrm": {
+            "params_m": (dlrm.num_params(dlrm_spec) / 1e6,) * 2,
+            "flops_b": (
+                dlrm.build_graph(dlrm_spec).total_flops / 1e9,
+            )
+            * 2,
+        },
+        "cnn": {
+            "params_m": (min(enet_params), max(enet_params)),
+            "flops_b": (min(enet_flops), max(enet_flops)),
+        },
+    }
+
+
+PAPER_ROWS = {
+    "vit": {"params_m": (25, 688), "flops_b": (8.4, 1060)},
+    "dlrm": {"params_m": (1000, 1000), "flops_b": (100, 100)},
+    "cnn": {"params_m": (7.6, 199), "flops_b": (1.8, 186)},
+}
+
+
+def run():
+    ranges = family_ranges()
+    rows = []
+    for domain, stats in ranges.items():
+        rows.append(
+            [
+                domain,
+                f"{stats['params_m'][0]:.1f}~{stats['params_m'][1]:.1f}",
+                f"{stats['flops_b'][0]:.1f}~{stats['flops_b'][1]:.1f}",
+                "128 TPUv4",
+                "1 TPUv4i",
+                "training",
+            ]
+        )
+    table = format_table(
+        ["domain", "params (M)", "FLOPs (B)", "training HW", "serving HW", "dominant cost"],
+        rows,
+    )
+    emit("table2_domains", table)
+    return ranges
+
+
+def test_table2_domains(benchmark):
+    ranges = benchmark.pedantic(run, rounds=1, iterations=1)
+    # ViT family spans tens-of-millions to ~700M params as in the paper.
+    assert ranges["vit"]["params_m"][0] < 60
+    assert 500 < ranges["vit"]["params_m"][1] < 800
+    # DLRM is O(1000M) parameters.
+    assert 500 < ranges["dlrm"]["params_m"][0] < 3000
+    # CNN family is far smaller than the ViT family.
+    assert ranges["cnn"]["params_m"][1] < ranges["vit"]["params_m"][1]

@@ -1,0 +1,94 @@
+"""Table 3: CoAtNet-H5 ablation — accuracy / params / FLOPs / throughput.
+
+Regenerates the four rows (CoAtNet-5, +DeeperConv, +ResShrink,
++SquaredReLU) with per-chip batch 64 on TPUv4, and asserts the paper's
+shape: deeper conv raises accuracy and slightly lowers throughput; the
+resolution shrink roughly halves FLOPs and nearly doubles throughput at
+an accuracy cost; squared ReLU recovers the accuracy at no throughput
+cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.hardware import TPU_V4, simulate
+from repro.models import COATNET
+from repro.models.coatnet import build_graph, num_params
+from repro.quality import coatnet_quality
+
+from .common import emit
+
+BATCH = 64
+
+PAPER_ROWS = {
+    "CoAtNet-5": (89.7, 688, 1012, 101),
+    "+DeeperConv": (90.3, 697, 1060, 97),
+    "+ResShrink": (88.9, 697, 474, 186),
+    "+SquaredReLU (CoAtNet-H5)": (89.7, 697, 476, 186),
+}
+
+
+def variants():
+    base = COATNET["5"]
+    deeper = base.with_deeper_conv(4)
+    shrunk = deeper.with_resolution(160)
+    h5 = shrunk.with_activation("squared_relu")
+    return {
+        "CoAtNet-5": base,
+        "+DeeperConv": deeper,
+        "+ResShrink": shrunk,
+        "+SquaredReLU (CoAtNet-H5)": h5,
+    }
+
+
+def run():
+    rows = {}
+    for label, config in variants().items():
+        graph = build_graph(config, batch=BATCH)
+        result = simulate(graph, TPU_V4)
+        rows[label] = {
+            "accuracy": coatnet_quality(config),
+            "params_m": num_params(config) / 1e6,
+            "gflops": graph.total_flops / BATCH / 1e9,
+            "throughput": BATCH / result.total_time_s,
+        }
+    table = format_table(
+        ["model", "top-1 (ours)", "top-1 (paper)", "params M (ours/paper)",
+         "GFLOPs (ours/paper)", "img/s/chip (ours/paper)"],
+        [
+            [
+                label,
+                f"{r['accuracy']:.1f}",
+                f"{PAPER_ROWS[label][0]:.1f}",
+                f"{r['params_m']:.0f}/{PAPER_ROWS[label][1]}",
+                f"{r['gflops']:.0f}/{PAPER_ROWS[label][2]}",
+                f"{r['throughput']:.0f}/{PAPER_ROWS[label][3]}",
+            ]
+            for label, r in rows.items()
+        ],
+    )
+    emit("table3_coatnet_ablation", table)
+    return rows
+
+
+def test_table3_coatnet_ablation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    base, deeper = rows["CoAtNet-5"], rows["+DeeperConv"]
+    shrunk, h5 = rows["+ResShrink"], rows["+SquaredReLU (CoAtNet-H5)"]
+    # Accuracy anchors match the paper's numbers closely.
+    for label, paper in PAPER_ROWS.items():
+        assert abs(rows[label]["accuracy"] - paper[0]) < 0.15
+    # Deeper conv: more params, more FLOPs, slightly lower throughput.
+    assert deeper["params_m"] > base["params_m"]
+    assert deeper["gflops"] > base["gflops"]
+    assert deeper["throughput"] < base["throughput"]
+    # Resolution shrink roughly halves the compute load...
+    assert 0.4 < shrunk["gflops"] / deeper["gflops"] < 0.6
+    # ...and delivers the big throughput win (paper: 97 -> 186 img/s).
+    assert shrunk["throughput"] / deeper["throughput"] > 1.5
+    # Squared ReLU is hardware-neutral.
+    assert abs(h5["throughput"] / shrunk["throughput"] - 1.0) < 0.05
+    # End to end: H5 is ~1.8x the baseline throughput at neutral quality.
+    speedup = h5["throughput"] / base["throughput"]
+    assert 1.5 < speedup < 2.6
+    assert abs(h5["accuracy"] - base["accuracy"]) < 0.15

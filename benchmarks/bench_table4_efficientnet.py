@@ -1,0 +1,82 @@
+"""Table 4: geometric-mean speedups of EfficientNet-H over EfficientNet-X.
+
+The family-wide geomean is diluted because B0-B4 are unchanged; the
+B5-B7 sub-family shows the real ~15% gains.  Speedups are reported for
+training on TPUv4, serving on TPUv4i, and serving on V100, as in the
+paper (5%/6%/6% family-wide, 14%/16%/17% for B5-B7).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, geometric_mean
+from repro.hardware import GPU_V100, TPU_V4, TPU_V4I, simulate
+from repro.models import EFFICIENTNET_H, EFFICIENTNET_X
+from repro.models.efficientnet import build_graph
+from repro.quality import efficientnet_quality
+
+from .common import emit
+
+TRAIN_BATCH = 64
+SERVE_BATCH = 8
+MEMBERS = tuple(f"b{i}" for i in range(8))
+BIG_MEMBERS = ("b5", "b6", "b7")
+
+
+def member_speedups(member: str):
+    base, searched = EFFICIENTNET_X[member], EFFICIENTNET_H[member]
+    speedups = {}
+    for label, hw, batch in (
+        ("train_tpu_v4", TPU_V4, TRAIN_BATCH),
+        ("serve_tpu_v4i", TPU_V4I, SERVE_BATCH),
+        ("serve_gpu_v100", GPU_V100, SERVE_BATCH),
+    ):
+        t_base = simulate(build_graph(base, batch=batch), hw).total_time_s
+        t_h = simulate(build_graph(searched, batch=batch), hw).total_time_s
+        speedups[label] = t_base / t_h
+    speedups["quality_delta"] = efficientnet_quality(searched) - efficientnet_quality(base)
+    return speedups
+
+
+def run():
+    per_member = {m: member_speedups(m) for m in MEMBERS}
+    summary = {}
+    for label in ("train_tpu_v4", "serve_tpu_v4i", "serve_gpu_v100"):
+        summary[label] = {
+            "family": geometric_mean([per_member[m][label] for m in MEMBERS]),
+            "b5_b7": geometric_mean([per_member[m][label] for m in BIG_MEMBERS]),
+        }
+    rows = [
+        [m] + [f"{per_member[m][l]:.3f}" for l in ("train_tpu_v4", "serve_tpu_v4i", "serve_gpu_v100")]
+        + [f"{per_member[m]['quality_delta']:+.2f}"]
+        for m in MEMBERS
+    ]
+    table = format_table(
+        ["model", "train TPUv4", "serve TPUv4i", "serve V100", "quality delta"], rows
+    )
+    table += "\n\n" + format_table(
+        ["geomean", "train TPUv4 (paper 5%/14%)", "serve TPUv4i (6%/16%)", "serve V100 (6%/17%)"],
+        [
+            ["family (B0-B7)"]
+            + [f"{summary[l]['family']:.3f}" for l in ("train_tpu_v4", "serve_tpu_v4i", "serve_gpu_v100")],
+            ["B5-B7"]
+            + [f"{summary[l]['b5_b7']:.3f}" for l in ("train_tpu_v4", "serve_tpu_v4i", "serve_gpu_v100")],
+        ],
+    )
+    emit("table4_efficientnet", table)
+    return per_member, summary
+
+
+def test_table4_efficientnet(benchmark):
+    per_member, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    # B0-B4 are identical to the baseline: no speedup.
+    for m in ("b0", "b1", "b2", "b3", "b4"):
+        for label in ("train_tpu_v4", "serve_tpu_v4i", "serve_gpu_v100"):
+            assert abs(per_member[m][label] - 1.0) < 1e-9
+    # B5-B7 gain double-digit percent on every platform (paper ~14-17%).
+    for label in ("train_tpu_v4", "serve_tpu_v4i", "serve_gpu_v100"):
+        assert 1.05 < summary[label]["b5_b7"] < 1.45
+        # Family-wide geomean is diluted but positive (paper 5-6%).
+        assert 1.01 < summary[label]["family"] < summary[label]["b5_b7"]
+    # Quality stays neutral.
+    for m in MEMBERS:
+        assert abs(per_member[m]["quality_delta"]) < 0.3

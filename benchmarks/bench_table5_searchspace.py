@@ -1,0 +1,39 @@
+"""Table 5: search-space definitions and their sizes.
+
+Regenerates the per-block cardinalities (302,400 per convolutional
+block; 17,920 per transformer block) and the four space sizes —
+``O(10^39)`` CNN, ``O(10^282)`` DLRM, ``O(10^8)`` transformer,
+``O(10^21)`` hybrid ViT — from the implemented decision lists.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.searchspace import per_block_cardinalities, table5_size_rows
+
+from .common import emit
+
+
+def run():
+    blocks = per_block_cardinalities()
+    rows = table5_size_rows()
+    table = format_table(
+        ["search space", "log10(size) here", "log10(size) paper", "within tolerance"],
+        [
+            [name, row.log10_size, row.paper_log10, row.matches_paper_order]
+            for name, row in rows.items()
+        ],
+    )
+    table += "\n\nper-block cardinalities: " + ", ".join(
+        f"{k}={v:,}" for k, v in blocks.items()
+    )
+    emit("table5_searchspace", table)
+    return blocks, rows
+
+
+def test_table5_searchspace(benchmark):
+    blocks, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert blocks["cnn_block"] == 302400  # the paper's per-block count
+    assert blocks["tfm_block"] == 17920
+    for row in rows.values():
+        assert row.matches_paper_order, row

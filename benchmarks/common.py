@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation section: it computes the experiment, prints the same
+rows/series the paper reports, writes them under
+``benchmarks/results/``, and asserts the *shape* claims (who wins, by
+roughly what factor, where crossovers fall).  Absolute numbers come
+from the analytical simulator, not the authors' testbed, and are not
+expected to match.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    output = banner + text + "\n"
+    print(output)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(output)
+    return output

@@ -1,0 +1,62 @@
+"""Pod-scale analysis: data-parallel scaling and DLRM sharding.
+
+Two planning questions a deployment answers before a search even runs:
+
+1. **How does the target model scale?**  Data-parallel step time on
+   1..256 TPUv4 chips, with the ring all-reduce modelled explicitly —
+   scaling efficiency collapses once the per-chip batch stops
+   amortizing the gradient exchange (Table 2's models train on 128).
+2. **How should DLRM embedding tables be sharded?**  The LPT-balanced
+   plan across the slice, the resulting gather/all-to-all split, and
+   the per-chip HBM check that makes model size a launch constraint.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.hardware import ClusterModel, TPU_V4
+from repro.models import COATNET, baseline_production_dlrm
+from repro.models.coatnet import build_graph
+from repro.models.dlrm_sharding import embedding_step_time, plan_sharding
+
+CHIP_COUNTS = (1, 4, 16, 64, 128, 256)
+GLOBAL_BATCH = 4096
+
+
+def coatnet_scaling():
+    print(f"=== CoAtNet-2 data-parallel scaling (global batch {GLOBAL_BATCH}) ===")
+    model = ClusterModel(TPU_V4, lambda b: build_graph(COATNET["2"], batch=b))
+    print(f"{'chips':>6} {'per-chip':>9} {'compute ms':>11} {'allreduce ms':>13} "
+          f"{'img/s':>10} {'bound':>9}")
+    for chips in CHIP_COUNTS:
+        step = model.step(chips, GLOBAL_BATCH)
+        bound = "network" if step.communication_bound else "compute"
+        print(f"{chips:>6} {step.per_chip_batch:>9} {step.compute_time_s*1e3:>11.1f} "
+              f"{step.allreduce_time_s*1e3:>13.2f} {step.examples_per_second:>10.0f} "
+              f"{bound:>9}")
+    efficiency = model.scaling_efficiency(CHIP_COUNTS, GLOBAL_BATCH)
+    print("scaling efficiency vs 1 chip:",
+          "  ".join(f"{c}:{e:.2f}" for c, e in zip(CHIP_COUNTS, efficiency)))
+
+
+def dlrm_sharding():
+    spec = baseline_production_dlrm(num_tables=32)
+    print(f"\n=== DLRM embedding sharding ({len(spec.tables)} tables, "
+          f"batch {spec.batch}) ===")
+    print(f"{'chips':>6} {'tables/chip':>12} {'imbalance':>10} {'gather ms':>10} "
+          f"{'all-to-all ms':>14} {'fits HBM':>9}")
+    for chips in (1, 2, 4, 8, 16):
+        plan = plan_sharding(spec, chips)
+        time = embedding_step_time(spec, plan, TPU_V4)
+        sizes = sorted(len(a) for a in plan.assignments)
+        print(f"{chips:>6} {f'{sizes[0]}..{sizes[-1]}':>12} "
+              f"{plan.load_imbalance:>10.3f} {time.gather_time_s*1e3:>10.3f} "
+              f"{time.all_to_all_time_s*1e3:>14.3f} {str(plan.fits_memory(TPU_V4)):>9}")
+
+
+def main():
+    coatnet_scaling()
+    dlrm_sharding()
+
+
+if __name__ == "__main__":
+    main()

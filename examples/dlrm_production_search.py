@@ -1,0 +1,117 @@
+"""Production-style DLRM search with the two-phase performance model.
+
+This is the paper's full deployment recipe (Sections 4-6) end to end:
+
+1. build a production-scale DLRM baseline and its search space;
+2. pre-train the MLP performance model on simulator samples, then
+   fine-tune it on ~20 hardware-testbed measurements (Table 1);
+3. run the single-step RL search with the ReLU multi-objective reward —
+   training step time as the primary objective, serving memory as the
+   secondary — using the performance model for millisecond-latency
+   performance signals;
+4. report the searched model against the baseline, Figure 8 style.
+
+Run:  python examples/dlrm_production_search.py   (takes a few minutes)
+"""
+
+import numpy as np
+
+from repro.core import (
+    PerformanceObjective,
+    SearchConfig,
+    SingleStepSearch,
+    SurrogateSuperNetwork,
+    relu_reward,
+)
+from repro.data import NullSource, SingleStepPipeline
+from repro.hardware import TPU_V4, simulate
+from repro.models import baseline_production_dlrm, pipeline_times
+from repro.models.dlrm import apply_architecture, build_graph
+from repro.models.timing import DlrmTimingHarness
+from repro.perfmodel import (
+    ArchitectureEncoder,
+    PerformanceModel,
+    TwoPhaseConfig,
+    TwoPhaseTrainer,
+)
+from repro.quality import DlrmQualityModel
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+
+NUM_TABLES = 4
+QUALITY_WEIGHT = 4.0
+
+
+def main():
+    baseline = baseline_production_dlrm(num_tables=NUM_TABLES)
+    space = dlrm_search_space(DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2))
+    harness = DlrmTimingHarness(baseline, seed=0)
+    quality_model = DlrmQualityModel(baseline)
+
+    print("=== phase 1+2: two-phase performance model (Table 1) ===")
+    perf_model = PerformanceModel(
+        ArchitectureEncoder(space),
+        hidden_sizes=(256, 256),
+        size_fn=harness.model_size,
+        seed=0,
+    )
+    trainer = TwoPhaseTrainer(
+        perf_model,
+        space,
+        simulate_fn=harness.simulate,
+        measure_fn=harness.measure,
+        config=TwoPhaseConfig(pretrain_epochs=40, finetune_epochs=200, finetune_lr=5e-5),
+        seed=0,
+    )
+    report = trainer.pretrain(4000)
+    print(f"pretrained on {report.num_samples} simulator samples "
+          f"(in-sample NRMSE {report.nrmse_train_head:.2%})")
+    before = trainer.evaluate(100, harness.measure_deterministic)
+    trainer.finetune(20)
+    after = trainer.evaluate(100, harness.measure_deterministic)
+    print(f"NRMSE vs hardware: {before[0]:.1%} pretrained -> {after[0]:.1%} finetuned")
+
+    print("\n=== phase 3: single-step search with the ReLU reward ===")
+    base_metrics = perf_model.predict(space.default_architecture())
+    objectives = [
+        PerformanceObjective(
+            "train_step_time", base_metrics["train_step_time"] * 0.9, beta=-6.0
+        ),
+        PerformanceObjective("model_size", base_metrics["model_size"] * 2.0, beta=-6.0),
+    ]
+
+    def quality_fn(arch):
+        return QUALITY_WEIGHT * quality_model.quality(apply_architecture(baseline, arch))
+
+    search = SingleStepSearch(
+        space=space,
+        supernet=SurrogateSuperNetwork(quality_fn, noise_sigma=0.01, seed=0),
+        pipeline=SingleStepPipeline(NullSource().next_batch),
+        reward_fn=relu_reward(objectives),
+        performance_fn=perf_model.predict,
+        config=SearchConfig(
+            steps=250, num_cores=8, warmup_steps=10, policy_lr=0.12,
+            policy_entropy_coef=0.12, record_candidates=False, seed=0,
+        ),
+    )
+    result = search.run()
+    best = result.final_architecture
+
+    print("\n=== results (Figure 8 style) ===")
+    for label, spec in (
+        ("baseline", baseline),
+        ("searched", apply_architecture(baseline, best, name="dlrm_searched")),
+    ):
+        times = pipeline_times(simulate(build_graph(spec), TPU_V4))
+        quality = quality_model.quality(spec)
+        print(f"{label:>9}: embedding {times['embedding']*1e3:6.2f} ms | "
+              f"dnn {times['dnn']*1e3:6.2f} ms | step {times['step']*1e3:6.2f} ms | "
+              f"quality {quality:.3f}")
+    print("\nsearched decisions (non-baseline only):")
+    default = space.default_architecture()
+    for name in sorted(best):
+        if best[name] != default[name]:
+            print(f"  {name}: {default[name]} -> {best[name]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Hardware what-if: which resources do the models actually lean on?
+
+The paper's conclusion pitches H2O-NAS for hardware/model co-design:
+chips are committed years ahead, so architects want each workload's
+bottleneck map and the payoff of candidate resource upgrades.  This
+example prints the step-time elasticity of every major resource
+(matrix unit, vector unit, HBM, CMEM, interconnect) for a CoAtNet, an
+EfficientNet, and a production DLRM — then evaluates a hypothetical
+next-generation chip.
+
+Run:  python examples/hardware_whatif.py
+"""
+
+from repro.hardware import TPU_V4, sensitivity_profile, simulate
+from repro.models import COATNET, EFFICIENTNET_X, baseline_production_dlrm
+from repro.models import coatnet, dlrm, efficientnet
+
+RESOURCES = ("matrix_unit", "vector_unit", "hbm_bandwidth", "cmem_bandwidth", "interconnect")
+
+
+def workloads():
+    return {
+        "coatnet_2 (batch 64)": coatnet.build_graph(COATNET["2"], batch=64),
+        "efficientnet_b4 (batch 64)": efficientnet.build_graph(
+            EFFICIENTNET_X["b4"], batch=64
+        ),
+        "production dlrm": dlrm.build_graph(baseline_production_dlrm(num_tables=16)),
+    }
+
+
+def bottleneck_maps():
+    print("=== step-time elasticity per resource (2x scaling) ===")
+    header = f"{'workload':>28}" + "".join(f"{r:>16}" for r in RESOURCES)
+    print(header)
+    for name, graph in workloads().items():
+        profile = sensitivity_profile(graph, TPU_V4, RESOURCES)
+        row = f"{name:>28}" + "".join(
+            f"{profile[r].elasticity:>16.2f}" for r in RESOURCES
+        )
+        print(row)
+    print("(1.0 = the model rides this resource; 0.0 = slack)\n")
+
+
+def future_chip():
+    print("=== hypothetical next-gen chip: 1.6x MXU, 2x HBM, same ICI ===")
+    next_gen = TPU_V4.with_overrides(
+        peak_matrix_tflops=TPU_V4.peak_matrix_tflops * 1.6,
+        hbm_bandwidth_gbs=TPU_V4.hbm_bandwidth_gbs * 2.0,
+    )
+    for name, graph in workloads().items():
+        now = simulate(graph, TPU_V4).total_time_s
+        future = simulate(graph, next_gen).total_time_s
+        print(f"{name:>28}: {now*1e3:8.2f} ms -> {future*1e3:8.2f} ms "
+              f"({now/future:.2f}x)")
+    print("\nmodels will be re-searched once the chip lands — the paper's "
+          "'late binding' of model to hardware architecture")
+
+
+def main():
+    bottleneck_maps()
+    future_chip()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""NLP search: the transformer space applied to a language-model proxy.
+
+"Our transformer search space can be used in isolation to search for
+pure VIT or transformer based NLP models" (Appendix A).  This example
+does exactly that: the same Table 5 transformer decisions, but the
+super-network predicts a label *per position* (next-token style) on a
+bigram-teacher sequence task, so cross-position mixing — attention —
+is load-bearing.  Sequence pooling is constrained out of the space
+(it would misalign positions with labels), the ViT lowering prices
+candidates on TPUv4, and the ReLU reward holds a step-time budget.
+
+Run:  python examples/nlp_search.py
+"""
+
+from dataclasses import replace
+
+from repro.core import (
+    PerformanceObjective,
+    SearchConfig,
+    SingleStepSearch,
+    relu_reward,
+)
+from repro.data import LmTaskConfig, LmTeacher, SingleStepPipeline
+from repro.models import VitBaseline, VitTimingHarness
+from repro.searchspace import SearchSpace, VitSpaceConfig, vit_search_space
+from repro.supernet import TransformerSuperNetwork, TransformerSupernetConfig
+
+
+def lm_search_space() -> SearchSpace:
+    """The transformer space with seq_pooling constrained to False."""
+    base = vit_search_space(VitSpaceConfig(num_tfm_blocks=1))
+    return base.frozen({"tfm0/seq_pooling": False}, name="nlp_transformer")
+
+
+def main():
+    space = lm_search_space()
+    print(f"NLP transformer space: {len(space)} decisions, "
+          f"{space.cardinality():,} candidates")
+    teacher = LmTeacher(LmTaskConfig(seq_len=8, batch_size=64, seed=0))
+    supernet = TransformerSuperNetwork(
+        TransformerSupernetConfig(num_blocks=1, base_depth=2, task="lm")
+    )
+    harness = VitTimingHarness(VitBaseline(num_blocks=1, base_depth=4))
+    time_budget = 0.5e-3
+    cache = {}
+
+    def perf_fn(arch):
+        if arch not in cache:
+            cache[arch] = {"train_step_time": harness.simulate(arch)[0]}
+        return cache[arch]
+
+    search = SingleStepSearch(
+        space=space,
+        supernet=supernet,
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward(
+            [PerformanceObjective("train_step_time", time_budget, beta=-2.0)]
+        ),
+        performance_fn=perf_fn,
+        config=SearchConfig(
+            steps=200, num_cores=4, warmup_steps=25, policy_lr=0.15,
+            policy_entropy_coef=0.05, seed=0,
+        ),
+    )
+    result = search.run()
+    best = result.final_architecture
+    print(f"\nsearch consumed {result.batches_used} fresh batches")
+    print("best architecture:")
+    for name, value in sorted(best.as_dict().items()):
+        print(f"  {name} = {value}")
+    time = perf_fn(best)["train_step_time"]
+    print(f"\nTPUv4 step time: {time*1e3:.3f} ms (budget {time_budget*1e3:.3f} ms)")
+    held_out = teacher.next_batch()
+    quality = supernet.quality(best, held_out.inputs, held_out.labels)
+    print(f"held-out per-position accuracy: {quality:.3f} (chance 0.25)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Performance-model workflow: pretrain on simulation, finetune on hardware.
+
+A compact walkthrough of Section 6.2 / Table 1: why neither data source
+alone is enough, and how the two-phase recipe combines them.
+
+* The simulator is cheap (CPU-only) but systematically optimistic.
+* Hardware measurements are faithful but scarce (we take only 20).
+* Pre-training learns the non-convex shape of the performance
+  landscape from the simulator; fine-tuning snaps that shape onto
+  reality with a handful of measurements.
+
+Run:  python examples/perfmodel_workflow.py
+"""
+
+import numpy as np
+
+from repro.models import baseline_production_dlrm
+from repro.models.timing import DlrmTimingHarness
+from repro.perfmodel import (
+    ArchitectureEncoder,
+    PerformanceModel,
+    TwoPhaseConfig,
+    TwoPhaseTrainer,
+)
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+
+NUM_TABLES = 4
+
+
+def main():
+    space = dlrm_search_space(DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2))
+    harness = DlrmTimingHarness(baseline_production_dlrm(num_tables=NUM_TABLES), seed=0)
+
+    # Show the systematic simulator-vs-hardware gap on a few candidates.
+    print("=== the gap the model must learn ===")
+    rng = np.random.default_rng(0)
+    print(f"{'candidate':>10} {'simulator ms':>13} {'hardware ms':>12} {'gap':>7}")
+    for i in range(5):
+        arch = space.sample(rng)
+        sim = harness.simulate(arch)[0]
+        hw = harness.measure_deterministic(arch)[0]
+        print(f"{i:>10} {sim*1e3:13.3f} {hw*1e3:12.3f} {hw/sim - 1:+7.1%}")
+
+    model = PerformanceModel(
+        ArchitectureEncoder(space),
+        hidden_sizes=(256, 256),
+        size_fn=harness.model_size,
+        seed=0,
+    )
+    trainer = TwoPhaseTrainer(
+        model,
+        space,
+        simulate_fn=harness.simulate,
+        measure_fn=harness.measure,
+        config=TwoPhaseConfig(pretrain_epochs=40, finetune_epochs=200, finetune_lr=5e-5),
+        seed=0,
+    )
+
+    print("\n=== phase 1: pretrain on simulator samples ===")
+    report = trainer.pretrain(4000)
+    print(f"{report.num_samples} samples, in-sample NRMSE "
+          f"{report.nrmse_train_head:.2%} (train head) / "
+          f"{report.nrmse_serve_head:.2%} (serve head)")
+    on_hw = trainer.evaluate(150, harness.measure_deterministic)
+    print(f"...but against hardware: {on_hw[0]:.1%} / {on_hw[1]:.1%} NRMSE")
+
+    print("\n=== phase 2: finetune on 20 hardware measurements ===")
+    trainer.finetune(20)
+    on_hw = trainer.evaluate(150, harness.measure_deterministic)
+    print(f"after finetuning: {on_hw[0]:.1%} / {on_hw[1]:.1%} NRMSE vs hardware")
+
+    print("\n=== the model in search position ===")
+    arch = space.sample(np.random.default_rng(7))
+    metrics = model.predict(arch)
+    truth = harness.measure_deterministic(arch)
+    print(f"prediction: train {metrics['train_step_time']*1e3:.3f} ms, "
+          f"serve {metrics['serving_latency']*1e3:.3f} ms, "
+          f"size {metrics['model_size']/1e9:.2f} GB (analytical head)")
+    print(f"hardware:   train {truth[0]*1e3:.3f} ms, serve {truth[1]*1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

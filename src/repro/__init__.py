@@ -1,0 +1,59 @@
+"""Reproduction of "Hyperscale Hardware Optimized Neural Architecture
+Search" (H2O-NAS, ASPLOS 2023).
+
+Public API tour:
+
+* :mod:`repro.core` — the paper's contribution: the single-sided ReLU
+  multi-objective reward, the REINFORCE controller, the massively
+  parallel single-step search, the TuNAS-style baseline, and the
+  :class:`~repro.core.H2ONas` facade.
+* :mod:`repro.searchspace` — the DLRM / CNN / ViT search spaces of
+  Table 5 with exact cardinality accounting.
+* :mod:`repro.supernet` — weight-sharing super-networks (hybrid
+  fine/coarse sharing for DLRM).
+* :mod:`repro.perfmodel` — the two-phase (pretrain + finetune) MLP
+  performance model.
+* :mod:`repro.hardware` — hardware configs, roofline math, the
+  analytical performance simulator, power/energy model, and the
+  testbed standing in for real-TPU measurement.
+* :mod:`repro.models` — DLRM, EfficientNet-X/-H, and CoAtNet/-H model
+  families lowered to simulator op graphs.
+* :mod:`repro.graph`, :mod:`repro.nn`, :mod:`repro.data`,
+  :mod:`repro.quality`, :mod:`repro.analysis` — substrates.
+"""
+
+from . import (
+    analysis,
+    core,
+    data,
+    graph,
+    hardware,
+    models,
+    nn,
+    perfmodel,
+    quality,
+    searchspace,
+    supernet,
+)
+from .core import H2ONas, PerformanceObjective, SearchConfig, absolute_reward, relu_reward
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "H2ONas",
+    "PerformanceObjective",
+    "SearchConfig",
+    "absolute_reward",
+    "analysis",
+    "core",
+    "data",
+    "graph",
+    "hardware",
+    "models",
+    "nn",
+    "perfmodel",
+    "quality",
+    "relu_reward",
+    "searchspace",
+    "supernet",
+]

@@ -1,0 +1,38 @@
+"""Analysis utilities: Pareto fronts, bucketing, table formatting."""
+
+from .ascii_plot import ascii_scatter
+from .correlation import ProxyErrorReport, proxy_relative_error, spearman_correlation
+from .report import (
+    ConvergenceSummary,
+    decision_drift,
+    format_report,
+    summarize,
+    top_candidates,
+)
+from .pareto import (
+    BucketStat,
+    bucketize,
+    geometric_mean,
+    hypervolume_2d,
+    pareto_front,
+)
+from .tables import format_series, format_table
+
+__all__ = [
+    "BucketStat",
+    "ConvergenceSummary",
+    "ProxyErrorReport",
+    "ascii_scatter",
+    "proxy_relative_error",
+    "spearman_correlation",
+    "decision_drift",
+    "format_report",
+    "summarize",
+    "top_candidates",
+    "bucketize",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "hypervolume_2d",
+    "pareto_front",
+]

@@ -1,0 +1,81 @@
+"""ASCII scatter plots for the benchmark harness.
+
+The benchmarks regenerate the paper's *figures*; a terminal-friendly
+scatter makes the Pareto fronts and crossovers visible directly in the
+benchmark output and in ``benchmarks/results/*.txt``, with one marker
+character per series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def ascii_scatter(
+    series: Dict[str, Sequence[Point]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named point series on one ASCII grid.
+
+    Each series is drawn with the first character of its name (made
+    unique across series); axis ranges span all points with a small
+    margin.  Collisions draw ``*``.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("grid too small to draw")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    x_lo -= 0.05 * x_span
+    x_hi += 0.05 * x_span
+    y_lo -= 0.05 * y_span
+    y_hi += 0.05 * y_span
+    # All-positive data never shows a negative axis.
+    if min(xs) >= 0:
+        x_lo = max(0.0, x_lo)
+    if min(ys) >= 0:
+        y_lo = max(0.0, y_lo)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    markers = _unique_markers(list(series))
+    for name, pts in series.items():
+        marker = markers[name]
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            row = height - 1 - row  # y grows upward
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "*"
+
+    lines = [f"{y_hi:12.4g} +" + "".join(grid[0])]
+    lines += ["             |" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{y_lo:12.4g} +" + "".join(grid[-1]))
+    lines.append("             " + "-" * (width + 1))
+    lines.append(f"             {x_lo:<.4g}{' ' * max(1, width - 16)}{x_hi:>.4g}")
+    legend = "  ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(f"{y_label} vs {x_label}   [{legend}]   (*=overlap)")
+    return "\n".join(lines)
+
+
+def _unique_markers(names: Sequence[str]) -> Dict[str, str]:
+    markers: Dict[str, str] = {}
+    used: set = set()
+    fallback = iter("ox+#@%&=~^")
+    for name in names:
+        candidate = name[0].lower() if name else "o"
+        while candidate in used:
+            candidate = next(fallback)
+        markers[name] = candidate
+        used.add(candidate)
+    return markers

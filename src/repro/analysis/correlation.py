@@ -1,0 +1,70 @@
+"""Proxy-fidelity metrics: how well does a cheap signal track hardware?
+
+Section 6.2 of the paper dismisses hardware-agnostic proxies: "FLOPs
+have been demonstrated to be a poor performance objective for NAS
+because of their high correlation error (>400%) to actual performance".
+These metrics quantify exactly that comparison for any candidate proxy
+(FLOPs, parameter bytes, the trained performance model, ...):
+
+* :func:`spearman_correlation` — rank fidelity, what a Pareto search
+  actually needs;
+* :func:`proxy_relative_error` — the per-candidate relative error after
+  granting the proxy its best global calibration (a single scale fitted
+  in log space), i.e. the error that calibration cannot remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+def spearman_correlation(proxy: Sequence[float], truth: Sequence[float]) -> float:
+    """Spearman rank correlation between proxy and measured values."""
+    proxy = np.asarray(proxy, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if proxy.shape != truth.shape or proxy.size < 2:
+        raise ValueError("need two equal-length sequences of at least 2 points")
+    if np.ptp(proxy) == 0 or np.ptp(truth) == 0:
+        # A constant signal carries no rank information.
+        return 0.0
+    result = stats.spearmanr(proxy, truth)
+    return float(result.correlation)
+
+
+@dataclass(frozen=True)
+class ProxyErrorReport:
+    """Calibrated relative-error statistics of one proxy."""
+
+    mean_relative_error: float
+    max_relative_error: float
+    spearman: float
+
+
+def proxy_relative_error(
+    proxy: Sequence[float], truth: Sequence[float]
+) -> ProxyErrorReport:
+    """Best-case relative error of a proxy against measurements.
+
+    The proxy is granted a single multiplicative calibration (fitted in
+    log space, the optimum for relative error); what remains is the
+    irreducible error the paper's ">400%" figure refers to.
+    """
+    proxy = np.asarray(proxy, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if proxy.shape != truth.shape or proxy.size < 2:
+        raise ValueError("need two equal-length sequences of at least 2 points")
+    if np.any(proxy <= 0) or np.any(truth <= 0):
+        raise ValueError("proxy and truth must be positive")
+    # Optimal log-space scale: exp(mean(log(truth) - log(proxy))).
+    scale = float(np.exp(np.mean(np.log(truth) - np.log(proxy))))
+    calibrated = proxy * scale
+    relative = np.abs(calibrated - truth) / truth
+    return ProxyErrorReport(
+        mean_relative_error=float(relative.mean()),
+        max_relative_error=float(relative.max()),
+        spearman=spearman_correlation(proxy, truth),
+    )

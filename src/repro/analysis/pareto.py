@@ -1,0 +1,119 @@
+"""Pareto-front utilities for quality/performance trade-off analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T],
+    quality: Callable[[T], float],
+    cost: Callable[[T], float],
+) -> List[T]:
+    """Non-dominated subset: maximize ``quality``, minimize ``cost``.
+
+    An item is dominated if another item has >= quality and <= cost
+    with at least one strict inequality.
+    """
+    front: List[T] = []
+    for candidate in items:
+        q_c, c_c = quality(candidate), cost(candidate)
+        dominated = False
+        for other in items:
+            if other is candidate:
+                continue
+            q_o, c_o = quality(other), cost(other)
+            if q_o >= q_c and c_o <= c_c and (q_o > q_c or c_o < c_c):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front
+
+
+def hypervolume_2d(
+    points: Sequence[Tuple[float, float]],
+    reference: Tuple[float, float],
+) -> float:
+    """Hypervolume of a 2-D front (maximize quality, minimize cost).
+
+    ``points`` are ``(quality, cost)`` pairs; ``reference`` is a
+    (low-quality, high-cost) corner every point must dominate.
+    Larger is better; used to compare ReLU vs absolute reward fronts.
+    """
+    ref_q, ref_c = reference
+    kept = [(q, c) for q, c in points if q > ref_q and c < ref_c]
+    if not kept:
+        return 0.0
+    # Sort by cost ascending; sweep adding rectangles of new quality.
+    kept.sort(key=lambda p: p[1])
+    volume = 0.0
+    best_q = ref_q
+    costs = [c for _, c in kept] + [ref_c]
+    for i, (q, c) in enumerate(kept):
+        next_c = costs[i + 1]
+        best_q = max(best_q, q)
+        volume += max(0.0, next_c - c) * (best_q - ref_q)
+    return volume
+
+
+@dataclass(frozen=True)
+class BucketStat:
+    """Mean statistic of records falling into one bucket (Fig. 5b/5c)."""
+
+    bucket_low: float
+    bucket_high: float
+    count: int
+    mean_value: float
+
+
+def bucketize(
+    items: Sequence[T],
+    key: Callable[[T], float],
+    value: Callable[[T], float],
+    num_buckets: int = 8,
+) -> List[BucketStat]:
+    """Bucket ``items`` by ``key`` and average ``value`` within buckets.
+
+    This is the paper's Figure 5b/5c methodology: cluster searched
+    models into quality (or step-time) buckets and compare the mean of
+    the other axis within each bucket.
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    if not items:
+        return []
+    keys = np.array([key(item) for item in items])
+    lo, hi = float(keys.min()), float(keys.max())
+    if hi == lo:
+        values = [value(item) for item in items]
+        return [BucketStat(lo, hi, len(items), float(np.mean(values)))]
+    edges = np.linspace(lo, hi, num_buckets + 1)
+    stats: List[BucketStat] = []
+    for b in range(num_buckets):
+        low, high = edges[b], edges[b + 1]
+        if b == num_buckets - 1:
+            mask = (keys >= low) & (keys <= high)
+        else:
+            mask = (keys >= low) & (keys < high)
+        selected = [item for item, hit in zip(items, mask) if hit]
+        if not selected:
+            continue
+        values = [value(item) for item in selected]
+        stats.append(BucketStat(float(low), float(high), len(selected), float(np.mean(values))))
+    return stats
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (speedup aggregation across a model family)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

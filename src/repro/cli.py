@@ -1,0 +1,165 @@
+"""Command-line interface: quick looks at the reproduction's systems.
+
+Subcommands:
+
+* ``spaces`` — the Table 5 search spaces and their sizes;
+* ``platforms`` — the built-in hardware configurations;
+* ``roofline`` — place an MBConv / fused-MBConv block on a platform's
+  roofline (the Figure 4 study for one block);
+* ``cost`` — the Section 7.3 cost accounting for a training budget;
+* ``search`` — a small end-to-end DLRM search (the quickstart).
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_report, format_table
+from .core import H2ONas, NasCostModel, PerformanceObjective, SearchConfig
+from .data import CtrTaskConfig, CtrTeacher
+from .hardware import PLATFORMS, platform, simulate
+from .models import MbconvSpec, single_block_graph
+from .searchspace import per_block_cardinalities, table5_size_rows
+from .supernet import DlrmSuperNetwork, DlrmSupernetConfig
+from .searchspace import DlrmSpaceConfig, dlrm_search_space
+
+
+def cmd_spaces(_args: argparse.Namespace) -> str:
+    rows = table5_size_rows()
+    blocks = per_block_cardinalities()
+    out = format_table(
+        ["space", "log10(size)", "paper log10"],
+        [[name, f"{r.log10_size:.1f}", f"{r.paper_log10:.0f}"] for name, r in rows.items()],
+    )
+    out += "\nper-block: " + ", ".join(f"{k}={v:,}" for k, v in blocks.items())
+    return out
+
+
+def cmd_platforms(_args: argparse.Namespace) -> str:
+    return format_table(
+        ["platform", "matrix TFLOP/s", "HBM GB/s", "CMEM MB", "ICI GB/s", "max W"],
+        [
+            [
+                cfg.name,
+                cfg.peak_matrix_tflops,
+                cfg.hbm_bandwidth_gbs,
+                cfg.cmem_capacity_mb,
+                cfg.ici_bandwidth_gbs,
+                cfg.max_power_w,
+            ]
+            for cfg in PLATFORMS.values()
+        ],
+    )
+
+
+def cmd_roofline(args: argparse.Namespace) -> str:
+    hw = platform(args.platform)
+    rows = []
+    for block_type in ("mbconv", "fused_mbconv"):
+        spec = MbconvSpec(block_type, args.depth, args.depth, se_ratio=0.0)
+        graph = single_block_graph(spec, args.resolution, batch=args.batch)
+        result = simulate(graph, hw)
+        rows.append(
+            [
+                f"{'F-MBC' if block_type == 'fused_mbconv' else 'MBC'}({args.depth})",
+                f"{graph.total_flops / graph.total_bytes:.1f}",
+                f"{result.achieved_tflops:.1f}",
+                f"{result.total_time_s * 1e3:.3f}",
+            ]
+        )
+    return format_table(
+        ["block", "intensity FLOPs/B", "attained TFLOP/s", "latency ms"], rows
+    )
+
+
+def cmd_cost(args: argparse.Namespace) -> str:
+    model = NasCostModel(vanilla_training_hours=args.training_hours)
+    return format_table(
+        ["row", "value"],
+        [
+            ["one-shot search (x vanilla)", f"{1 + model.search_overhead:.1f}"],
+            ["one-shot total incl. retrain (x vanilla)", f"{model.one_shot_multiple():.1f}"],
+            ["one-shot total (hours)", f"{model.one_shot_hours():.0f}"],
+            [
+                f"multi-trial with {args.trials} trials (hours)",
+                f"{model.multi_trial_hours(args.trials):.0f}",
+            ],
+            ["one-shot advantage", f"{model.one_shot_advantage(args.trials):.0f}x"],
+        ],
+    )
+
+
+def cmd_search(args: argparse.Namespace) -> str:
+    num_tables = 2
+    space = dlrm_search_space(DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2))
+    teacher = CtrTeacher(CtrTaskConfig(num_tables=num_tables, batch_size=64, seed=args.seed))
+
+    def step_time(arch):
+        cost = 1.0
+        for t in range(num_tables):
+            cost += 0.05 * arch[f"emb{t}/width_delta"]
+            cost += 0.15 * (arch[f"emb{t}/vocab_scale"] - 1.0)
+        for s in range(2):
+            cost += 0.04 * arch[f"dense{s}/width_delta"]
+        return {"step_time": max(0.1, cost)}
+
+    nas = H2ONas(
+        space=space,
+        supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=num_tables, seed=args.seed)),
+        batch_source=teacher.next_batch,
+        performance_fn=step_time,
+        objectives=[PerformanceObjective("step_time", 1.0, beta=-0.5)],
+        config=SearchConfig(
+            steps=args.steps, num_cores=4, warmup_steps=10, seed=args.seed
+        ),
+    )
+    result = nas.search()
+    return format_report(space, result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="H2O-NAS reproduction (ASPLOS 2023) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("spaces", help="Table 5 search spaces and sizes").set_defaults(
+        handler=cmd_spaces
+    )
+    sub.add_parser("platforms", help="built-in hardware configs").set_defaults(
+        handler=cmd_platforms
+    )
+    roofline = sub.add_parser("roofline", help="MBConv vs fused MBConv on a platform")
+    roofline.add_argument("--platform", default="tpu_v4i", choices=sorted(PLATFORMS))
+    roofline.add_argument("--depth", type=int, default=64)
+    roofline.add_argument("--resolution", type=int, default=56)
+    roofline.add_argument("--batch", type=int, default=64)
+    roofline.set_defaults(handler=cmd_roofline)
+
+    cost = sub.add_parser("cost", help="Section 7.3 cost accounting")
+    cost.add_argument("--training-hours", type=float, default=1000.0)
+    cost.add_argument("--trials", type=int, default=100)
+    cost.set_defaults(handler=cmd_cost)
+
+    search = sub.add_parser("search", help="small end-to-end DLRM search")
+    search.add_argument("--steps", type=int, default=60)
+    search.add_argument("--seed", type=int, default=0)
+    search.set_defaults(handler=cmd_search)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

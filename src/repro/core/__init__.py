@@ -1,0 +1,79 @@
+"""H2O-NAS core: rewards, RL controller, search algorithms, facade."""
+
+from .controller import BaselineTracker, CategoricalPolicy, ReinforceController
+from .cost import NasCostModel
+from .multitrial import (
+    EvolutionConfig,
+    EvolutionarySearch,
+    MultiTrialResult,
+    RandomSearch,
+    Trial,
+)
+from .facade import H2ONas
+from .gradient_search import DartsConfig, DartsResult, DartsSearch
+from .reward import (
+    PerformanceObjective,
+    RewardFunction,
+    absolute_reward,
+    relu_reward,
+)
+from .serialize import (
+    load_performance_model,
+    load_policy,
+    policy_from_dict,
+    policy_to_dict,
+    save_performance_model,
+    save_policy,
+)
+from .pareto_search import (
+    FrontPoint,
+    FrontResult,
+    FrontSearchConfig,
+    trace_front,
+)
+from .surrogate import SurrogateSuperNetwork
+from .search import (
+    CandidateRecord,
+    SearchConfig,
+    SearchResult,
+    SingleStepSearch,
+    StepRecord,
+    TunasSearch,
+)
+
+__all__ = [
+    "BaselineTracker",
+    "CandidateRecord",
+    "CategoricalPolicy",
+    "EvolutionConfig",
+    "EvolutionarySearch",
+    "MultiTrialResult",
+    "NasCostModel",
+    "RandomSearch",
+    "Trial",
+    "FrontPoint",
+    "FrontResult",
+    "FrontSearchConfig",
+    "DartsConfig",
+    "DartsResult",
+    "DartsSearch",
+    "H2ONas",
+    "PerformanceObjective",
+    "ReinforceController",
+    "RewardFunction",
+    "SearchConfig",
+    "SearchResult",
+    "SingleStepSearch",
+    "StepRecord",
+    "SurrogateSuperNetwork",
+    "TunasSearch",
+    "absolute_reward",
+    "load_performance_model",
+    "load_policy",
+    "policy_from_dict",
+    "policy_to_dict",
+    "save_performance_model",
+    "save_policy",
+    "trace_front",
+    "relu_reward",
+]

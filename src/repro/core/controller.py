@@ -1,0 +1,194 @@
+"""REINFORCE controller over categorical search-space decisions.
+
+The RL algorithm "learns a policy pi, a probability distribution over a
+collection of independent multinomial variables.  Each variable
+controls a decision of the search space" (Section 4.1).  The policy is
+a per-decision logit vector; sampling is independent across decisions;
+updates follow REINFORCE with a moving-average reward baseline (the
+standard variance reduction TuNAS also uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..searchspace.base import Architecture, SearchSpace
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+class CategoricalPolicy:
+    """Independent multinomial distributions, one per decision."""
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+        self.logits: List[np.ndarray] = [
+            np.zeros(d.num_choices) for d in space.decisions
+        ]
+
+    # ------------------------------------------------------------------
+    def probabilities(self) -> List[np.ndarray]:
+        """Per-decision choice probabilities."""
+        return [_softmax(logit) for logit in self.logits]
+
+    def sample(self, rng: np.random.Generator) -> Tuple[Architecture, np.ndarray]:
+        """Draw an architecture; returns it with its index vector."""
+        indices = np.array(
+            [
+                rng.choice(len(probs), p=probs)
+                for probs in self.probabilities()
+            ],
+            dtype=np.int64,
+        )
+        return self.space.architecture_from_indices(indices), indices
+
+    def log_prob(self, indices: Sequence[int]) -> float:
+        """Log-probability of the architecture encoded by ``indices``."""
+        total = 0.0
+        for probs, idx in zip(self.probabilities(), indices):
+            total += float(np.log(probs[int(idx)] + 1e-12))
+        return total
+
+    def entropy(self) -> float:
+        """Summed entropy across decisions (search-convergence signal)."""
+        total = 0.0
+        for probs in self.probabilities():
+            total += float(-(probs * np.log(probs + 1e-12)).sum())
+        return total
+
+    def most_probable_architecture(self) -> Architecture:
+        """Independently pick the argmax of every decision (end of search)."""
+        indices = [int(np.argmax(logit)) for logit in self.logits]
+        return self.space.architecture_from_indices(indices)
+
+    # ------------------------------------------------------------------
+    def reinforce_update(
+        self,
+        samples: Sequence[Tuple[np.ndarray, float]],
+        learning_rate: float,
+        entropy_coef: float = 0.0,
+    ) -> None:
+        """One cross-shard REINFORCE step.
+
+        ``samples`` is a list of ``(index_vector, advantage)`` pairs —
+        one per parallel core — and the gradients are averaged across
+        cores before being applied (the paper's cross-shard policy
+        update).  The per-decision gradient of ``log pi`` w.r.t. the
+        logits is ``onehot(choice) - probs``.
+
+        ``entropy_coef`` adds an entropy bonus to the maximized
+        objective, preventing premature convergence when constraint
+        penalties dominate the early reward signal.
+        """
+        if not samples:
+            return
+        probs = self.probabilities()
+        grads = [np.zeros_like(logit) for logit in self.logits]
+        for indices, advantage in samples:
+            for d, idx in enumerate(indices):
+                onehot = np.zeros_like(grads[d])
+                onehot[int(idx)] = 1.0
+                grads[d] += advantage * (onehot - probs[d])
+        scale = learning_rate / len(samples)
+        for d, (logit, grad) in enumerate(zip(self.logits, grads)):
+            logit += scale * grad
+            if entropy_coef > 0:
+                p = probs[d]
+                entropy = float(-(p * np.log(p + 1e-12)).sum())
+                logit += learning_rate * entropy_coef * (
+                    -p * (np.log(p + 1e-12) + entropy)
+                )
+
+
+@dataclass
+class BaselineTracker:
+    """Exponential moving average of rewards (REINFORCE baseline)."""
+
+    momentum: float = 0.9
+    value: Optional[float] = None
+
+    def advantage(self, reward: float) -> float:
+        """Advantage of ``reward`` against the current baseline."""
+        return reward if self.value is None else reward - self.value
+
+    def update(self, rewards: Sequence[float]) -> None:
+        if not len(rewards):
+            return
+        mean = float(np.mean(rewards))
+        if self.value is None:
+            self.value = mean
+        else:
+            self.value = self.momentum * self.value + (1 - self.momentum) * mean
+
+
+class ReinforceController:
+    """Policy + baseline, exposing the per-step update the searches use."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        learning_rate: float = 0.2,
+        baseline_momentum: float = 0.9,
+        entropy_coef: float = 0.0,
+        seed: int = 0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if entropy_coef < 0:
+            raise ValueError("entropy_coef must be non-negative")
+        self.policy = CategoricalPolicy(space)
+        self.learning_rate = learning_rate
+        self.entropy_coef = entropy_coef
+        self.baseline = BaselineTracker(momentum=baseline_momentum)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> Tuple[Architecture, np.ndarray]:
+        return self.policy.sample(self._rng)
+
+    def sample_many(self, count: int) -> List[Tuple[Architecture, np.ndarray]]:
+        """Independent samples, one per parallel core."""
+        return [self.sample() for _ in range(count)]
+
+    def update(self, samples: Sequence[Tuple[np.ndarray, float]]) -> None:
+        """REINFORCE update from ``(indices, reward)`` pairs."""
+        for _, reward in samples:
+            if not np.isfinite(reward):
+                raise ValueError(
+                    "non-finite reward reached the controller; check the "
+                    "quality signal and performance metrics"
+                )
+        advantaged = [
+            (indices, self.baseline.advantage(reward)) for indices, reward in samples
+        ]
+        self.policy.reinforce_update(
+            advantaged, self.learning_rate, entropy_coef=self.entropy_coef
+        )
+        self.baseline.update([reward for _, reward in samples])
+
+    def best_architecture(self) -> Architecture:
+        return self.policy.most_probable_architecture()
+
+    def entropy(self) -> float:
+        return self.policy.entropy()
+
+    def warm_start(self, policy: CategoricalPolicy) -> None:
+        """Resume from a previously trained policy (same search space).
+
+        Production searches checkpoint their policies (see
+        :mod:`repro.core.serialize`); warm-starting a new controller
+        from a checkpoint continues the search rather than restarting
+        from uniform.
+        """
+        if len(policy.logits) != len(self.policy.logits):
+            raise ValueError("policy comes from a different search space")
+        for mine, theirs in zip(self.policy.logits, policy.logits):
+            if mine.shape != theirs.shape:
+                raise ValueError("policy comes from a different search space")
+            mine[:] = theirs

@@ -1,0 +1,69 @@
+"""NAS cost accounting (Section 7.3 of the paper).
+
+The paper's deployment-efficiency claims, reproduced as an explicit
+model:
+
+* one-shot search costs ~1.5x a vanilla training run (the super-network
+  overhead), and the winning architecture is retrained from scratch
+  (1x more), for a total of ~2.5x vanilla training;
+* multi-trial NAS pays roughly one training run *per trial*;
+* performance-model building is CPU-simulation-bound and negligible
+  next to accelerator training;
+* the whole search amortizes to a tiny fraction of the downstream
+  serving/research compute the optimized model then powers
+  (paper: < 0.03%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NasCostModel:
+    """Accelerator-hour accounting around one target model."""
+
+    #: Cost of training the target model once, in accelerator-hours.
+    vanilla_training_hours: float
+    #: One-shot search overhead relative to vanilla training (the paper's
+    #: "search cost is ~1.5x that of regular model training").
+    search_overhead: float = 0.5
+    #: The searched architecture is retrained without the one-shot
+    #: super-network overhead before deployment.
+    retrain_multiple: float = 1.0
+    #: Performance-model building runs on CPUs against the simulator;
+    #: its accelerator cost is a rounding error.
+    perf_model_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vanilla_training_hours <= 0:
+            raise ValueError("vanilla_training_hours must be positive")
+        if self.search_overhead < 0 or self.retrain_multiple < 0:
+            raise ValueError("overheads must be non-negative")
+
+    # ------------------------------------------------------------------
+    def one_shot_hours(self) -> float:
+        """Total accelerator-hours of an H2O-NAS run (search + retrain)."""
+        search = (1.0 + self.search_overhead) * self.vanilla_training_hours
+        retrain = self.retrain_multiple * self.vanilla_training_hours
+        return search + retrain + self.perf_model_hours
+
+    def one_shot_multiple(self) -> float:
+        """One-shot cost as a multiple of vanilla training (paper: ~2.5x)."""
+        return self.one_shot_hours() / self.vanilla_training_hours
+
+    def multi_trial_hours(self, num_trials: int) -> float:
+        """Accelerator-hours of multi-trial NAS with ``num_trials`` trials."""
+        if num_trials < 1:
+            raise ValueError("num_trials must be >= 1")
+        return num_trials * self.vanilla_training_hours
+
+    def one_shot_advantage(self, num_trials: int) -> float:
+        """How many times cheaper one-shot is than ``num_trials`` trials."""
+        return self.multi_trial_hours(num_trials) / self.one_shot_hours()
+
+    def downstream_fraction(self, downstream_hours: float) -> float:
+        """NAS cost as a fraction of downstream serving/research compute."""
+        if downstream_hours <= 0:
+            raise ValueError("downstream_hours must be positive")
+        return self.one_shot_hours() / downstream_hours

@@ -1,0 +1,62 @@
+"""High-level entry point tying the H2O-NAS pillars together.
+
+:class:`H2ONas` wires a search space, a weight-sharing super-network,
+an in-memory production-traffic source, performance objectives, and a
+performance predictor into the massively parallel single-step search —
+the full colored path of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..data.batch import Batch
+from ..data.pipeline import SingleStepPipeline
+from ..searchspace.base import Architecture, SearchSpace
+from .reward import PerformanceObjective, absolute_reward, relu_reward
+from .search import (
+    PerformanceFn,
+    SearchConfig,
+    SearchResult,
+    SingleStepSearch,
+    SuperNetwork,
+)
+
+
+class H2ONas:
+    """End-to-end Hyperscale Hardware Optimized NAS."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        supernet: SuperNetwork,
+        batch_source: Callable[[], Batch],
+        performance_fn: PerformanceFn,
+        objectives: Sequence[PerformanceObjective],
+        reward_kind: str = "relu",
+        config: SearchConfig = SearchConfig(),
+        max_batches: Optional[int] = None,
+    ):
+        self.space = space
+        self.supernet = supernet
+        self.pipeline = SingleStepPipeline(batch_source, max_batches=max_batches)
+        reward_factory = relu_reward if reward_kind == "relu" else absolute_reward
+        if reward_kind not in ("relu", "absolute"):
+            raise ValueError("reward_kind must be 'relu' or 'absolute'")
+        self.reward_fn = reward_factory(objectives)
+        self.search_algorithm = SingleStepSearch(
+            space=space,
+            supernet=supernet,
+            pipeline=self.pipeline,
+            reward_fn=self.reward_fn,
+            performance_fn=performance_fn,
+            config=config,
+        )
+
+    def search(self) -> SearchResult:
+        """Run the search and return the Pareto-optimized architecture."""
+        return self.search_algorithm.run()
+
+    def evaluate(self, arch: Architecture, batch: Batch) -> float:
+        """Quality of ``arch`` on a held-out batch (post-search check)."""
+        return self.supernet.quality(arch, batch.inputs, batch.labels)

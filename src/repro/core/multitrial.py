@@ -1,0 +1,164 @@
+"""Multi-trial search baselines: random search and regularized evolution.
+
+The paper's taxonomy (Section 2.1) contrasts one-shot NAS against
+multi-trial NAS, where every candidate is trained and evaluated in its
+own independent trial — "straightforward to implement, but
+cost-prohibitive if the individual trials are large in scale" — and
+notes that evolution-based algorithms cannot drive one-shot searches
+because their rewards must be comparable across steps.  These baselines
+make both points measurable: they consume an ``evaluate_fn`` whose cost
+stands for one full trial, so comparing them against the single-step
+search at a matched evaluation budget reproduces the efficiency
+argument (see ``benchmarks/bench_ablation_strategy.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Mapping, Tuple
+
+import numpy as np
+
+from ..searchspace.base import Architecture, SearchSpace
+from .reward import RewardFunction
+
+#: One trial: architecture -> (quality, performance metrics).
+EvaluateFn = Callable[[Architecture], Tuple[float, Mapping[str, float]]]
+
+
+@dataclass
+class Trial:
+    """One completed independent trial."""
+
+    architecture: Architecture
+    quality: float
+    metrics: Mapping[str, float]
+    reward: float
+
+
+@dataclass
+class MultiTrialResult:
+    """Outcome of a multi-trial search."""
+
+    best: Trial
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    def rewards(self) -> np.ndarray:
+        return np.array([t.reward for t in self.trials])
+
+    def best_reward_curve(self) -> np.ndarray:
+        """Running best reward after each trial (sample-efficiency view)."""
+        return np.maximum.accumulate(self.rewards())
+
+
+class RandomSearch:
+    """Uniformly sample candidates; keep the best reward."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluate_fn: EvaluateFn,
+        reward_fn: RewardFunction,
+        num_trials: int = 100,
+        seed: int = 0,
+    ):
+        if num_trials < 1:
+            raise ValueError("num_trials must be >= 1")
+        self.space = space
+        self.evaluate_fn = evaluate_fn
+        self.reward_fn = reward_fn
+        self.num_trials = num_trials
+        self._rng = np.random.default_rng(seed)
+
+    def run(self) -> MultiTrialResult:
+        trials = [self._trial(self.space.sample(self._rng)) for _ in range(self.num_trials)]
+        return MultiTrialResult(best=max(trials, key=lambda t: t.reward), trials=trials)
+
+    def _trial(self, arch: Architecture) -> Trial:
+        quality, metrics = self.evaluate_fn(arch)
+        return Trial(arch, quality, metrics, self.reward_fn(quality, metrics))
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Regularized-evolution hyper-parameters (Real et al., 2019)."""
+
+    population_size: int = 20
+    tournament_size: int = 5
+    num_trials: int = 100
+    mutations_per_child: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not (1 <= self.tournament_size <= self.population_size):
+            raise ValueError("tournament_size must be in [1, population_size]")
+        if self.num_trials < self.population_size:
+            raise ValueError("num_trials must cover the initial population")
+        if self.mutations_per_child < 1:
+            raise ValueError("mutations_per_child must be >= 1")
+
+
+class EvolutionarySearch:
+    """Aging evolution: tournament parent selection, mutate, drop oldest."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluate_fn: EvaluateFn,
+        reward_fn: RewardFunction,
+        config: EvolutionConfig = EvolutionConfig(),
+        seed: int = 0,
+    ):
+        self.space = space
+        self.evaluate_fn = evaluate_fn
+        self.reward_fn = reward_fn
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+
+    def run(self) -> MultiTrialResult:
+        cfg = self.config
+        trials: List[Trial] = []
+        population: Deque[Trial] = deque()
+        # Seed the population with random candidates.
+        for _ in range(cfg.population_size):
+            trial = self._trial(self.space.sample(self._rng))
+            trials.append(trial)
+            population.append(trial)
+        # Evolve: tournament -> mutate -> evaluate -> age out the oldest.
+        while len(trials) < cfg.num_trials:
+            contestants = [
+                population[int(self._rng.integers(len(population)))]
+                for _ in range(cfg.tournament_size)
+            ]
+            parent = max(contestants, key=lambda t: t.reward)
+            child_arch = self.mutate(parent.architecture)
+            child = self._trial(child_arch)
+            trials.append(child)
+            population.append(child)
+            population.popleft()
+        return MultiTrialResult(best=max(trials, key=lambda t: t.reward), trials=trials)
+
+    def mutate(self, arch: Architecture) -> Architecture:
+        """Re-roll ``mutations_per_child`` random decisions to new values."""
+        updates = {}
+        for _ in range(self.config.mutations_per_child):
+            decision = self.space.decisions[
+                int(self._rng.integers(len(self.space.decisions)))
+            ]
+            current = arch[decision.name]
+            alternatives = [c for c in decision.choices if c != current]
+            if alternatives:
+                updates[decision.name] = alternatives[
+                    int(self._rng.integers(len(alternatives)))
+                ]
+        return arch.replaced(**updates)
+
+    def _trial(self, arch: Architecture) -> Trial:
+        quality, metrics = self.evaluate_fn(arch)
+        return Trial(arch, quality, metrics, self.reward_fn(quality, metrics))

@@ -1,0 +1,132 @@
+"""Pareto-front tracing: sweep performance targets, collect the front.
+
+The paper's Figure 5 methodology as a first-class API: a single search
+returns one Pareto-optimized model for one set of launch targets; to
+*trace* the quality/performance front, deployments sweep the primary
+target (e.g. training step time from 0.75x to 1.5x of baseline) and
+run one search per setting.  This module runs that sweep and reduces
+the results to the non-dominated front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from ..analysis.pareto import pareto_front
+from ..data.pipeline import SingleStepPipeline
+from ..data.synthetic import NullSource
+from ..searchspace.base import Architecture, SearchSpace
+from .reward import PerformanceObjective, RewardFunction, relu_reward
+from .search import PerformanceFn, SearchConfig, SingleStepSearch
+from .surrogate import SurrogateSuperNetwork
+
+QualityFn = Callable[[Architecture], float]
+
+
+@dataclass(frozen=True)
+class FrontPoint:
+    """One searched model on the quality/performance plane."""
+
+    architecture: Architecture
+    quality: float
+    metrics: Mapping[str, float]
+    target_scale: float
+
+
+@dataclass
+class FrontResult:
+    """Outcome of a target sweep."""
+
+    points: List[FrontPoint] = field(default_factory=list)
+    primary_metric: str = "train_step_time"
+
+    def front(self) -> List[FrontPoint]:
+        """The non-dominated subset (max quality, min primary metric)."""
+        return pareto_front(
+            self.points,
+            quality=lambda p: p.quality,
+            cost=lambda p: p.metrics[self.primary_metric],
+        )
+
+    def best_quality(self) -> FrontPoint:
+        return max(self.points, key=lambda p: p.quality)
+
+    def fastest(self) -> FrontPoint:
+        return min(self.points, key=lambda p: p.metrics[self.primary_metric])
+
+
+@dataclass(frozen=True)
+class FrontSearchConfig:
+    """Knobs of the target sweep."""
+
+    primary_metric: str = "train_step_time"
+    target_scales: Sequence[float] = (0.75, 0.9, 1.0, 1.25, 1.5)
+    beta: float = -3.0
+    quality_weight: float = 2.0
+    quality_noise: float = 0.01
+    search: SearchConfig = SearchConfig(
+        steps=300,
+        num_cores=8,
+        warmup_steps=10,
+        policy_lr=0.12,
+        policy_entropy_coef=0.15,
+        record_candidates=False,
+    )
+
+    def __post_init__(self) -> None:
+        if not self.target_scales:
+            raise ValueError("target_scales must be non-empty")
+        if any(s <= 0 for s in self.target_scales):
+            raise ValueError("target scales must be positive")
+        if self.quality_weight <= 0:
+            raise ValueError("quality_weight must be positive")
+
+
+def trace_front(
+    space: SearchSpace,
+    quality_fn: QualityFn,
+    performance_fn: PerformanceFn,
+    config: FrontSearchConfig = FrontSearchConfig(),
+    secondary_objectives: Sequence[PerformanceObjective] = (),
+    baseline: Optional[Architecture] = None,
+) -> FrontResult:
+    """Sweep the primary target and collect one searched model per setting.
+
+    ``quality_fn`` is an analytical/surrogate quality signal (hyperscale
+    regime); ``performance_fn`` returns the metric mapping used by the
+    reward.  ``secondary_objectives`` (e.g. a neutral model-size target)
+    apply unchanged at every sweep point.
+    """
+    baseline = baseline or space.default_architecture()
+    base_value = performance_fn(baseline)[config.primary_metric]
+    result = FrontResult(primary_metric=config.primary_metric)
+    for scale in config.target_scales:
+        objectives = [
+            PerformanceObjective(
+                config.primary_metric, base_value * scale, beta=config.beta
+            ),
+            *secondary_objectives,
+        ]
+        search = SingleStepSearch(
+            space=space,
+            supernet=SurrogateSuperNetwork(
+                lambda a: config.quality_weight * quality_fn(a),
+                noise_sigma=config.quality_noise,
+                seed=config.search.seed,
+            ),
+            pipeline=SingleStepPipeline(NullSource().next_batch),
+            reward_fn=relu_reward(objectives),
+            performance_fn=performance_fn,
+            config=config.search,
+        )
+        final = search.run().final_architecture
+        result.points.append(
+            FrontPoint(
+                architecture=final,
+                quality=quality_fn(final),
+                metrics=dict(performance_fn(final)),
+                target_scale=scale,
+            )
+        )
+    return result

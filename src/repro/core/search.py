@@ -1,0 +1,255 @@
+"""Search algorithms: H2O-NAS single-step parallel search and the
+TuNAS-style alternating baseline (Figure 2 of the paper).
+
+Both algorithms share the same ingredients — a super-network (shared
+weights ``W``), a REINFORCE controller (policy ``pi`` over architecture
+choices ``alpha``), a reward function, and a performance predictor —
+and differ exactly where the paper says they differ:
+
+* :class:`SingleStepSearch` (right side of Figure 2): one unified step
+  learns both ``pi`` and ``W`` from the *same* stream of fresh
+  production traffic.  ``N`` parallel cores each sample a candidate,
+  score it on a fresh batch (the policy consumes the batch first),
+  cross-shard-update the policy, and then cross-shard-update the
+  shared weights on the same batches.
+* :class:`TunasSearch` (left side of Figure 2): alternating steps — a
+  weight-training step on the training split, then a policy step on
+  the validation split — with data reuse across epochs, as required
+  when data is scarce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..data.batch import Batch
+from ..data.pipeline import SingleStepPipeline, TwoStreamPipeline
+from ..nn import Adam, Optimizer
+from ..searchspace.base import Architecture, SearchSpace
+from .controller import ReinforceController
+from .reward import RewardFunction
+
+PerformanceFn = Callable[[Architecture], Mapping[str, float]]
+
+
+class SuperNetwork(Protocol):
+    """What the searches need from a super-network."""
+
+    def quality(self, arch: Architecture, inputs, labels) -> float: ...
+
+    def loss(self, arch: Architecture, inputs, labels): ...
+
+    def parameters(self): ...
+
+    def zero_grad(self) -> None: ...
+
+
+@dataclass
+class CandidateRecord:
+    """One evaluated candidate within one search step."""
+
+    architecture: Architecture
+    quality: float
+    metrics: Dict[str, float]
+    reward: float
+
+
+@dataclass
+class StepRecord:
+    """Aggregate view of one search step."""
+
+    step: int
+    mean_reward: float
+    mean_quality: float
+    policy_entropy: float
+    candidates: List[CandidateRecord] = field(default_factory=list)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a completed search."""
+
+    final_architecture: Architecture
+    history: List[StepRecord]
+    batches_used: int
+
+    @property
+    def all_candidates(self) -> List[CandidateRecord]:
+        return [c for step in self.history for c in step.candidates]
+
+    def rewards(self) -> np.ndarray:
+        return np.array([s.mean_reward for s in self.history])
+
+    def entropies(self) -> np.ndarray:
+        return np.array([s.policy_entropy for s in self.history])
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs shared by both search algorithms."""
+
+    steps: int = 100
+    num_cores: int = 4  # parallel accelerators (single-step search only)
+    policy_lr: float = 0.3
+    weight_lr: float = 0.005
+    policy_entropy_coef: float = 0.0  # exploration bonus for the controller
+    warmup_steps: int = 10  # weight-only steps before policy updates begin
+    record_candidates: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 1 or self.num_cores < 1:
+            raise ValueError("steps and num_cores must be >= 1")
+        if self.warmup_steps < 0:
+            raise ValueError("warmup_steps must be >= 0")
+
+
+class SingleStepSearch:
+    """H2O-NAS massively parallel unified single-step search."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        supernet: SuperNetwork,
+        pipeline: SingleStepPipeline,
+        reward_fn: RewardFunction,
+        performance_fn: PerformanceFn,
+        config: SearchConfig = SearchConfig(),
+    ):
+        self.space = space
+        self.supernet = supernet
+        self.pipeline = pipeline
+        self.reward_fn = reward_fn
+        self.performance_fn = performance_fn
+        self.config = config
+        self.controller = ReinforceController(
+            space,
+            learning_rate=config.policy_lr,
+            entropy_coef=config.policy_entropy_coef,
+            seed=config.seed,
+        )
+        self._optimizer: Optimizer = Adam(supernet.parameters(), lr=config.weight_lr)
+        self._warmup_rng = np.random.default_rng(config.seed + 1)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        history = [self._step(step) for step in range(self.config.steps)]
+        return SearchResult(
+            final_architecture=self.controller.best_architecture(),
+            history=history,
+            batches_used=self.pipeline.batches_issued,
+        )
+
+    def _step(self, step: int) -> StepRecord:
+        cfg = self.config
+        warming_up = step < cfg.warmup_steps
+        # Stage 1: every core draws a fresh batch and samples a candidate,
+        # then scores it with the shared weights (policy consumes first).
+        shard: List[Tuple[Batch, Architecture, np.ndarray]] = []
+        for _ in range(cfg.num_cores):
+            batch = self.pipeline.next_batch()
+            if warming_up:
+                arch = self.space.sample(self._warmup_rng)
+                indices = self.space.indices_of(arch)
+            else:
+                arch, indices = self.controller.sample()
+            shard.append((batch, arch, indices))
+        candidates: List[CandidateRecord] = []
+        samples: List[Tuple[np.ndarray, float]] = []
+        for batch, arch, indices in shard:
+            quality = self.supernet.quality(arch, batch.inputs, batch.labels)
+            self.pipeline.mark_policy_use(batch)
+            metrics = dict(self.performance_fn(arch))
+            reward = self.reward_fn(quality, metrics)
+            samples.append((indices, reward))
+            candidates.append(CandidateRecord(arch, quality, metrics, reward))
+        # Stage 2: cross-shard policy update (skipped during warmup).
+        if not warming_up:
+            self.controller.update(samples)
+        # Stage 3: cross-shard weight update on the same batches.
+        self.supernet.zero_grad()
+        for batch, arch, _ in shard:
+            loss = self.supernet.loss(arch, batch.inputs, batch.labels)
+            (loss * (1.0 / cfg.num_cores)).backward()
+            self.pipeline.mark_weight_use(batch)
+        self._optimizer.step()
+        return StepRecord(
+            step=step,
+            mean_reward=float(np.mean([c.reward for c in candidates])),
+            mean_quality=float(np.mean([c.quality for c in candidates])),
+            policy_entropy=self.controller.entropy(),
+            candidates=candidates if cfg.record_candidates else [],
+        )
+
+
+class TunasSearch:
+    """TuNAS-style two-step baseline: alternate W and pi learning."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        supernet: SuperNetwork,
+        pipeline: TwoStreamPipeline,
+        reward_fn: RewardFunction,
+        performance_fn: PerformanceFn,
+        config: SearchConfig = SearchConfig(),
+    ):
+        self.space = space
+        self.supernet = supernet
+        self.pipeline = pipeline
+        self.reward_fn = reward_fn
+        self.performance_fn = performance_fn
+        self.config = config
+        self.controller = ReinforceController(
+            space,
+            learning_rate=config.policy_lr,
+            entropy_coef=config.policy_entropy_coef,
+            seed=config.seed,
+        )
+        self._optimizer: Optimizer = Adam(supernet.parameters(), lr=config.weight_lr)
+        self._warmup_rng = np.random.default_rng(config.seed + 1)
+
+    def run(self) -> SearchResult:
+        history = [self._step(step) for step in range(self.config.steps)]
+        batches = self.pipeline.train_size + self.pipeline.valid_size
+        return SearchResult(
+            final_architecture=self.controller.best_architecture(),
+            history=history,
+            batches_used=batches,
+        )
+
+    def _step(self, step: int) -> StepRecord:
+        cfg = self.config
+        warming_up = step < cfg.warmup_steps
+        # Weight-training step on the training split.
+        if warming_up:
+            arch = self.space.sample(self._warmup_rng)
+        else:
+            arch, _ = self.controller.sample()
+        train_batch = self.pipeline.next_train_batch()
+        self.supernet.zero_grad()
+        self.supernet.loss(arch, train_batch.inputs, train_batch.labels).backward()
+        self._optimizer.step()
+        # Policy step on the validation split.
+        candidates: List[CandidateRecord] = []
+        samples: List[Tuple[np.ndarray, float]] = []
+        valid_batch = self.pipeline.next_valid_batch()
+        for _ in range(cfg.num_cores):
+            cand, indices = self.controller.sample()
+            quality = self.supernet.quality(cand, valid_batch.inputs, valid_batch.labels)
+            metrics = dict(self.performance_fn(cand))
+            reward = self.reward_fn(quality, metrics)
+            samples.append((indices, reward))
+            candidates.append(CandidateRecord(cand, quality, metrics, reward))
+        if not warming_up:
+            self.controller.update(samples)
+        return StepRecord(
+            step=step,
+            mean_reward=float(np.mean([c.reward for c in candidates])),
+            mean_quality=float(np.mean([c.quality for c in candidates])),
+            policy_entropy=self.controller.entropy(),
+            candidates=candidates if cfg.record_candidates else [],
+        )

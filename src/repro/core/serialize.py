@@ -1,0 +1,102 @@
+"""Serialization of searched policies and performance models.
+
+Production NAS runs are long-lived: searches checkpoint their policies,
+and performance models are trained once per (search space, hardware)
+pair and reused across searches.  These helpers persist both as plain
+JSON/NPZ so a deployment can resume or ship them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..perfmodel.model import PerformanceModel
+from ..searchspace.base import SearchSpace
+from .controller import CategoricalPolicy
+
+PathLike = Union[str, pathlib.Path]
+
+_POLICY_VERSION = 1
+_PERF_MODEL_VERSION = 1
+
+
+def policy_to_dict(policy: CategoricalPolicy) -> dict:
+    """JSON-ready snapshot of a policy's logits."""
+    return {
+        "version": _POLICY_VERSION,
+        "space": policy.space.name,
+        "decisions": {
+            decision.name: logits.tolist()
+            for decision, logits in zip(policy.space.decisions, policy.logits)
+        },
+    }
+
+
+def policy_from_dict(space: SearchSpace, payload: dict) -> CategoricalPolicy:
+    """Rebuild a policy over ``space`` from :func:`policy_to_dict` output."""
+    if payload.get("version") != _POLICY_VERSION:
+        raise ValueError(f"unsupported policy payload version {payload.get('version')!r}")
+    if payload.get("space") != space.name:
+        raise ValueError(
+            f"policy was saved for space {payload.get('space')!r}, not {space.name!r}"
+        )
+    decisions = payload["decisions"]
+    policy = CategoricalPolicy(space)
+    for i, decision in enumerate(space.decisions):
+        if decision.name not in decisions:
+            raise ValueError(f"payload missing decision {decision.name!r}")
+        logits = np.asarray(decisions[decision.name], dtype=np.float64)
+        if logits.shape != (decision.num_choices,):
+            raise ValueError(
+                f"decision {decision.name!r}: expected {decision.num_choices} "
+                f"logits, got {logits.shape}"
+            )
+        policy.logits[i] = logits
+    return policy
+
+
+def save_policy(policy: CategoricalPolicy, path: PathLike) -> None:
+    """Write a policy snapshot as JSON."""
+    pathlib.Path(path).write_text(json.dumps(policy_to_dict(policy)))
+
+
+def load_policy(space: SearchSpace, path: PathLike) -> CategoricalPolicy:
+    """Load a policy snapshot saved by :func:`save_policy`."""
+    return policy_from_dict(space, json.loads(pathlib.Path(path).read_text()))
+
+
+def save_performance_model(model: PerformanceModel, path: PathLike) -> None:
+    """Persist a performance model's weights and normalization as NPZ."""
+    arrays = {
+        "version": np.array(_PERF_MODEL_VERSION),
+        "log_mean": model.log_mean,
+        "log_std": model.log_std,
+    }
+    for i, param in enumerate(model.parameters()):
+        arrays[f"param_{i}"] = param.data
+    np.savez(pathlib.Path(path), **arrays)
+
+
+def load_performance_model(model: PerformanceModel, path: PathLike) -> PerformanceModel:
+    """Restore weights into a compatibly-shaped ``model`` in place."""
+    with np.load(pathlib.Path(path)) as payload:
+        if int(payload["version"]) != _PERF_MODEL_VERSION:
+            raise ValueError("unsupported performance-model payload version")
+        params = model.parameters()
+        for i, param in enumerate(params):
+            key = f"param_{i}"
+            if key not in payload:
+                raise ValueError(f"payload missing {key}")
+            saved = payload[key]
+            if saved.shape != param.data.shape:
+                raise ValueError(
+                    f"{key}: shape {saved.shape} does not match model "
+                    f"{param.data.shape} (different architecture?)"
+                )
+            param.data[:] = saved
+        model.set_normalization(payload["log_mean"], payload["log_std"])
+    return model

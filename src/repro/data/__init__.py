@@ -1,0 +1,37 @@
+"""In-memory data pipelines and synthetic production-traffic generators."""
+
+from .batch import Batch
+from .pipeline import (
+    PipelineProtocolError,
+    SingleStepPipeline,
+    TwoStreamPipeline,
+)
+from .sharded import ShardedSource
+from .synthetic import (
+    CtrTaskConfig,
+    CtrTeacher,
+    LmTaskConfig,
+    LmTeacher,
+    NullSource,
+    SequenceTaskConfig,
+    SequenceTeacher,
+    VisionTaskConfig,
+    VisionTeacher,
+)
+
+__all__ = [
+    "Batch",
+    "CtrTaskConfig",
+    "CtrTeacher",
+    "LmTaskConfig",
+    "LmTeacher",
+    "NullSource",
+    "PipelineProtocolError",
+    "SequenceTaskConfig",
+    "SequenceTeacher",
+    "ShardedSource",
+    "SingleStepPipeline",
+    "TwoStreamPipeline",
+    "VisionTaskConfig",
+    "VisionTeacher",
+]

@@ -1,0 +1,141 @@
+"""In-memory data pipelines (Section 4.1 / item (1) in Figure 1).
+
+Two pipelines implement the two data regimes the paper contrasts:
+
+* :class:`SingleStepPipeline` — the H2O-NAS regime.  Production traffic
+  is effectively infinite, so every batch is consumed exactly once, and
+  the pipeline *enforces* the ordering invariant the algorithm relies
+  on: the policy (architecture choices ``alpha``) must consume a batch
+  before the shared weights ``W`` may train on it, guaranteeing the
+  policy always scores candidates on data the weights have never seen.
+  Nothing is ever persisted — batches live only in memory and are
+  dropped once fully consumed.
+
+* :class:`TwoStreamPipeline` — the TuNAS/research regime: a finite
+  dataset split into disjoint train/validation streams, with reuse
+  across epochs.  Used by the baseline algorithm and by the single-step
+  vs two-step ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .batch import Batch
+
+BatchSource = Callable[[], Batch]
+
+
+class PipelineProtocolError(RuntimeError):
+    """Raised when a consumer violates the single-use/ordering protocol."""
+
+
+class SingleStepPipeline:
+    """Streaming pipeline with single-use, policy-before-weights batches."""
+
+    def __init__(self, source: BatchSource, max_batches: Optional[int] = None):
+        self._source = source
+        self._max_batches = max_batches
+        self._issued = 0
+        #: batch_id -> consumption state ("issued" | "policy" | "weights")
+        self._state: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def batches_issued(self) -> int:
+        return self._issued
+
+    def exhausted(self) -> bool:
+        return self._max_batches is not None and self._issued >= self._max_batches
+
+    def next_batch(self) -> Batch:
+        """Fetch the next fresh batch from the stream."""
+        if self.exhausted():
+            raise StopIteration("pipeline exhausted")
+        batch = self._source()
+        if batch.batch_id in self._state:
+            raise PipelineProtocolError(
+                f"source re-issued batch {batch.batch_id}; production traffic "
+                "must deliver each example once"
+            )
+        self._state[batch.batch_id] = "issued"
+        self._issued += 1
+        return batch
+
+    def mark_policy_use(self, batch: Batch) -> None:
+        """Record that the RL policy consumed ``batch`` (must come first)."""
+        state = self._state.get(batch.batch_id)
+        if state is None:
+            raise PipelineProtocolError(f"batch {batch.batch_id} was never issued")
+        if state != "issued":
+            raise PipelineProtocolError(
+                f"batch {batch.batch_id} already consumed by the policy"
+            )
+        self._state[batch.batch_id] = "policy"
+
+    def mark_weight_use(self, batch: Batch) -> None:
+        """Record that shared-weight training consumed ``batch``.
+
+        Raises unless the policy consumed the batch first — the paper's
+        "learning alpha always precedes training W" guarantee.
+        """
+        state = self._state.get(batch.batch_id)
+        if state is None:
+            raise PipelineProtocolError(f"batch {batch.batch_id} was never issued")
+        if state == "issued":
+            raise PipelineProtocolError(
+                f"batch {batch.batch_id}: weights may not train on data the "
+                "policy has not yet scored (policy-before-weights invariant)"
+            )
+        if state == "weights":
+            raise PipelineProtocolError(
+                f"batch {batch.batch_id} already used for weight training; "
+                "every example is used at most once"
+            )
+        # Fully consumed: drop all record of the data (in-memory only).
+        self._state[batch.batch_id] = "weights"
+
+
+class TwoStreamPipeline:
+    """Finite train/validation streams with reuse (the research regime)."""
+
+    def __init__(
+        self,
+        source: BatchSource,
+        train_batches: int,
+        valid_batches: int,
+    ):
+        if train_batches < 1 or valid_batches < 1:
+            raise ValueError("both splits need at least one batch")
+        self._train: List[Batch] = [source() for _ in range(train_batches)]
+        self._valid: List[Batch] = [source() for _ in range(valid_batches)]
+        self._train_cursor = 0
+        self._valid_cursor = 0
+        self.train_reuses = 0
+        self.valid_reuses = 0
+
+    def next_train_batch(self) -> Batch:
+        """Next training batch, cycling with reuse across epochs."""
+        batch = self._train[self._train_cursor]
+        self._train_cursor += 1
+        if self._train_cursor == len(self._train):
+            self._train_cursor = 0
+            self.train_reuses += 1
+        return batch
+
+    def next_valid_batch(self) -> Batch:
+        """Next validation batch, cycling with reuse."""
+        batch = self._valid[self._valid_cursor]
+        self._valid_cursor += 1
+        if self._valid_cursor == len(self._valid):
+            self._valid_cursor = 0
+            self.valid_reuses += 1
+        return batch
+
+    @property
+    def train_size(self) -> int:
+        return len(self._train)
+
+    @property
+    def valid_size(self) -> int:
+        return len(self._valid)

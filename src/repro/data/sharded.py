@@ -1,0 +1,74 @@
+"""Sharded in-memory streams for massively parallel search.
+
+The single-step algorithm runs on "hundreds of accelerators in
+parallel" (Section 4.2), each consuming its own slice of the incoming
+production traffic.  :class:`ShardedSource` fans one batch source out
+to ``num_shards`` per-core sources with the properties the algorithm
+needs:
+
+* **global single-use** — every batch from the underlying source goes
+  to exactly one shard, so the no-reuse guarantee holds fleet-wide;
+* **per-shard ordering** — each shard sees batches in arrival order;
+* **bounded skew** — shards pull from a shared round-robin dispatcher,
+  so a lagging core buffers at most its own backlog.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List
+
+from .batch import Batch
+
+BatchSource = Callable[[], Batch]
+
+
+class ShardedSource:
+    """Fans one batch source out to ``num_shards`` disjoint sub-streams."""
+
+    def __init__(self, source: BatchSource, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._source = source
+        self.num_shards = num_shards
+        self._queues: List[Deque[Batch]] = [deque() for _ in range(num_shards)]
+        self._next_shard = 0
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def batches_dispatched(self) -> int:
+        return self._dispatched
+
+    def backlog(self, shard: int) -> int:
+        """Batches buffered for ``shard`` that it has not consumed yet."""
+        self._check_shard(shard)
+        return len(self._queues[shard])
+
+    def next_batch(self, shard: int) -> Batch:
+        """The next batch for ``shard``, pulling new traffic as needed."""
+        self._check_shard(shard)
+        queue = self._queues[shard]
+        while not queue:
+            self._dispatch_one()
+        return queue.popleft()
+
+    def shard_source(self, shard: int) -> BatchSource:
+        """A zero-argument batch source bound to ``shard``.
+
+        Plug one of these per core into a
+        :class:`~repro.data.pipeline.SingleStepPipeline`.
+        """
+        self._check_shard(shard)
+        return lambda: self.next_batch(shard)
+
+    # ------------------------------------------------------------------
+    def _dispatch_one(self) -> None:
+        batch = self._source()
+        self._queues[self._next_shard].append(batch)
+        self._next_shard = (self._next_shard + 1) % self.num_shards
+        self._dispatched += 1
+
+    def _check_shard(self, shard: int) -> None:
+        if not (0 <= shard < self.num_shards):
+            raise ValueError(f"shard {shard} outside [0, {self.num_shards})")

@@ -1,0 +1,24 @@
+"""Operator-graph IR consumed by the hardware performance simulator."""
+
+from .ir import (
+    OpGraph,
+    OpNode,
+    UNIT_MEMORY,
+    UNIT_MXU,
+    UNIT_NETWORK,
+    UNIT_VPU,
+    VALID_UNITS,
+)
+from . import ops, passes
+
+__all__ = [
+    "OpGraph",
+    "OpNode",
+    "UNIT_MEMORY",
+    "UNIT_MXU",
+    "UNIT_NETWORK",
+    "UNIT_VPU",
+    "VALID_UNITS",
+    "ops",
+    "passes",
+]

@@ -1,0 +1,182 @@
+"""Operator-graph intermediate representation.
+
+The paper's in-house performance simulator consumes a TensorFlow/HLO
+graph of the target model.  Our equivalent is :class:`OpGraph` — a DAG
+of :class:`OpNode` objects, each carrying the quantities a roofline
+simulator needs: FLOPs, activation bytes in/out, parameter bytes, and
+which hardware unit executes the op (matrix unit, vector unit, memory
+system, or chip-to-chip network).
+
+Model builders in :mod:`repro.models` lower architecture configurations
+to these graphs; :mod:`repro.hardware.simulator` walks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+#: Execution units an op can be bound to.
+UNIT_MXU = "mxu"  # matrix/tensor unit (systolic array / tensor cores)
+UNIT_VPU = "vpu"  # vector processing unit
+UNIT_MEMORY = "memory"  # pure data movement (e.g. embedding gather)
+UNIT_NETWORK = "network"  # inter-chip communication (all-to-all etc.)
+
+VALID_UNITS = frozenset({UNIT_MXU, UNIT_VPU, UNIT_MEMORY, UNIT_NETWORK})
+
+
+@dataclass
+class OpNode:
+    """One operator with its resource footprint.
+
+    Attributes:
+        name: unique node id within its graph.
+        op_type: semantic kind (``conv2d``, ``matmul``, ...), used for
+            reporting and for unit-specific simulator behaviour.
+        flops: total floating-point operations (multiply-add counted
+            as two FLOPs, matching the paper's convention).
+        bytes_in: activation bytes read.
+        bytes_out: activation bytes written.
+        param_bytes: parameter bytes streamed from off-chip memory.
+        unit: execution unit (one of :data:`VALID_UNITS`).
+        dims: characteristic tensor dimensions used for matrix-unit
+            padding-efficiency modelling (e.g. ``(m, k, n)``).
+        network_bytes: bytes crossing the chip interconnect.
+    """
+
+    name: str
+    op_type: str
+    flops: float = 0.0
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    param_bytes: float = 0.0
+    unit: str = UNIT_VPU
+    dims: Tuple[int, ...] = ()
+    network_bytes: float = 0.0
+    attrs: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.unit not in VALID_UNITS:
+            raise ValueError(f"unknown unit {self.unit!r} for op {self.name!r}")
+        for label in ("flops", "bytes_in", "bytes_out", "param_bytes", "network_bytes"):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} of op {self.name!r} must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes moved by this op (activations + parameters)."""
+        return self.bytes_in + self.bytes_out + self.param_bytes
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per byte moved — the roofline x-axis."""
+        total = self.total_bytes
+        return self.flops / total if total > 0 else 0.0
+
+
+class OpGraph:
+    """A DAG of :class:`OpNode` with explicit dependency edges."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, node: OpNode, deps: Iterable[str] = ()) -> OpNode:
+        """Add ``node``, depending on the named predecessor ops."""
+        if node.name in self._graph:
+            raise ValueError(f"duplicate op name {node.name!r}")
+        self._graph.add_node(node.name, op=node)
+        for dep in deps:
+            if dep not in self._graph:
+                raise KeyError(f"dependency {dep!r} not in graph")
+            self._graph.add_edge(dep, node.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_node(node.name)
+            raise ValueError(f"adding op {node.name!r} would create a cycle")
+        return node
+
+    def chain(self, nodes: Iterable[OpNode], after: Optional[str] = None) -> Optional[str]:
+        """Add ``nodes`` in sequence, each depending on the previous.
+
+        Returns the name of the last node added (or ``after`` when
+        ``nodes`` is empty), convenient for threading builders.
+        """
+        last = after
+        for node in nodes:
+            self.add(node, deps=[last] if last is not None else [])
+            last = node.name
+        return last
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def node(self, name: str) -> OpNode:
+        return self._graph.nodes[name]["op"]
+
+    def nodes(self) -> List[OpNode]:
+        """All ops in a topological order."""
+        return [self._graph.nodes[n]["op"] for n in nx.topological_sort(self._graph)]
+
+    def successors(self, name: str) -> List[str]:
+        return list(self._graph.successors(name))
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(self._graph.predecessors(name))
+
+    def networkx(self) -> nx.DiGraph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self.nodes())
+
+    @property
+    def total_param_bytes(self) -> float:
+        return sum(op.param_bytes for op in self.nodes())
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(op.total_bytes for op in self.nodes())
+
+    def critical_path(self, weights: Dict[str, float]) -> List[str]:
+        """Longest path through the DAG under per-node ``weights``.
+
+        ``weights`` maps op name -> execution time.  Parallel branches
+        (e.g. the embedding pipeline vs. the bottom MLP of a DLRM)
+        contribute only their slower arm, matching the paper's
+        ``MAX(embedding time, DNN time)`` step-time accounting.
+        """
+        best_cost: Dict[str, float] = {}
+        best_pred: Dict[str, Optional[str]] = {}
+        order = list(nx.topological_sort(self._graph))
+        for name in order:
+            preds = list(self._graph.predecessors(name))
+            if preds:
+                pred = max(preds, key=lambda p: best_cost[p])
+                base = best_cost[pred]
+            else:
+                pred, base = None, 0.0
+            best_cost[name] = base + weights[name]
+            best_pred[name] = pred
+        if not order:
+            return []
+        tail = max(order, key=lambda n: best_cost[n])
+        path = [tail]
+        while best_pred[path[-1]] is not None:
+            path.append(best_pred[path[-1]])
+        return list(reversed(path))

@@ -1,0 +1,239 @@
+"""Constructors for common ML operators with their resource footprints.
+
+FLOP and byte accounting conventions:
+
+* one multiply-accumulate = 2 FLOPs (the paper's convention — e.g. the
+  MBConv FLOP counts in Figure 4 follow it);
+* activations and weights default to 2 bytes (bf16 on TPUs); embedding
+  tables default to 4 bytes (fp32), matching production DLRM practice;
+* convolutions are counted in their im2col matmul view, which is also
+  how the matrix-unit padding efficiency is estimated.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .ir import OpNode, UNIT_MEMORY, UNIT_MXU, UNIT_NETWORK, UNIT_VPU
+
+DEFAULT_DTYPE_BYTES = 2.0
+EMBEDDING_DTYPE_BYTES = 4.0
+
+
+def _out_hw(size: int, stride: int) -> int:
+    return max(1, math.ceil(size / stride))
+
+
+def conv2d(
+    name: str,
+    height: int,
+    width: int,
+    cin: int,
+    cout: int,
+    kernel: int,
+    stride: int = 1,
+    batch: int = 1,
+    dtype_bytes: float = DEFAULT_DTYPE_BYTES,
+) -> OpNode:
+    """A standard 2-D convolution executed on the matrix unit."""
+    out_h, out_w = _out_hw(height, stride), _out_hw(width, stride)
+    flops = 2.0 * batch * out_h * out_w * cin * cout * kernel * kernel
+    return OpNode(
+        name=name,
+        op_type="conv2d",
+        flops=flops,
+        bytes_in=batch * height * width * cin * dtype_bytes,
+        bytes_out=batch * out_h * out_w * cout * dtype_bytes,
+        param_bytes=kernel * kernel * cin * cout * dtype_bytes,
+        unit=UNIT_MXU,
+        dims=(batch * out_h * out_w, kernel * kernel * cin, cout),
+    )
+
+
+def depthwise_conv2d(
+    name: str,
+    height: int,
+    width: int,
+    channels: int,
+    kernel: int,
+    stride: int = 1,
+    batch: int = 1,
+    dtype_bytes: float = DEFAULT_DTYPE_BYTES,
+) -> OpNode:
+    """Depthwise convolution: cheap in FLOPs but runs on the vector unit.
+
+    Depthwise convolutions cannot fill a systolic matrix unit (each
+    output channel touches one input channel), which is exactly why the
+    paper's fused MBConv — replacing depthwise + 1x1 with one dense
+    convolution — can be *faster* despite more FLOPs (Figure 4).
+    """
+    out_h, out_w = _out_hw(height, stride), _out_hw(width, stride)
+    flops = 2.0 * batch * out_h * out_w * channels * kernel * kernel
+    return OpNode(
+        name=name,
+        op_type="depthwise_conv2d",
+        flops=flops,
+        bytes_in=batch * height * width * channels * dtype_bytes,
+        bytes_out=batch * out_h * out_w * channels * dtype_bytes,
+        param_bytes=kernel * kernel * channels * dtype_bytes,
+        unit=UNIT_VPU,
+        dims=(batch * out_h * out_w, kernel * kernel, channels),
+    )
+
+
+def dense(
+    name: str,
+    batch: int,
+    nin: int,
+    nout: int,
+    dtype_bytes: float = DEFAULT_DTYPE_BYTES,
+) -> OpNode:
+    """Fully-connected layer ``(batch, nin) @ (nin, nout)``."""
+    return OpNode(
+        name=name,
+        op_type="dense",
+        flops=2.0 * batch * nin * nout,
+        bytes_in=batch * nin * dtype_bytes,
+        bytes_out=batch * nout * dtype_bytes,
+        param_bytes=nin * nout * dtype_bytes,
+        unit=UNIT_MXU,
+        dims=(batch, nin, nout),
+    )
+
+
+def matmul(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    batch: int = 1,
+    dtype_bytes: float = DEFAULT_DTYPE_BYTES,
+    cmem_resident: bool = False,
+) -> OpNode:
+    """Activation-by-activation matmul (no parameters), e.g. QK^T / AV.
+
+    ``cmem_resident`` marks intermediates the compiler keeps on-chip via
+    fusion/blocking (attention score matrices never round-trip to HBM);
+    the simulator then charges their traffic to CMEM bandwidth.
+    """
+    return OpNode(
+        name=name,
+        op_type="matmul",
+        flops=2.0 * batch * m * k * n,
+        bytes_in=batch * (m * k + k * n) * dtype_bytes,
+        bytes_out=batch * m * n * dtype_bytes,
+        param_bytes=0.0,
+        unit=UNIT_MXU,
+        dims=(batch * m, k, n),
+        attrs={"cmem_resident": 1.0} if cmem_resident else {},
+    )
+
+
+def embedding_lookup(
+    name: str,
+    lookups: int,
+    width: int,
+    distributed: bool = True,
+    dtype_bytes: float = EMBEDDING_DTYPE_BYTES,
+) -> OpNode:
+    """Sparse embedding gather (+ all-to-all when sharded across chips).
+
+    Embedding layers never touch the matrix unit: they are memory-bound
+    gathers and, when tables are sharded across accelerators, also
+    network-bound (Section 5.1 of the paper).
+    """
+    moved = lookups * width * dtype_bytes
+    return OpNode(
+        name=name,
+        op_type="embedding_lookup",
+        flops=0.0,
+        bytes_in=moved,
+        bytes_out=moved,
+        param_bytes=0.0,
+        unit=UNIT_MEMORY,
+        network_bytes=moved if distributed else 0.0,
+    )
+
+
+def elementwise(
+    name: str,
+    elements: float,
+    flops_per_element: float = 1.0,
+    op_type: str = "elementwise",
+    dtype_bytes: float = DEFAULT_DTYPE_BYTES,
+) -> OpNode:
+    """Pointwise op (activation, add, batch-norm apply, ...)."""
+    return OpNode(
+        name=name,
+        op_type=op_type,
+        flops=elements * flops_per_element,
+        bytes_in=elements * dtype_bytes,
+        bytes_out=elements * dtype_bytes,
+        unit=UNIT_VPU,
+    )
+
+
+def softmax(
+    name: str,
+    rows: int,
+    row_length: int,
+    dtype_bytes: float = DEFAULT_DTYPE_BYTES,
+    cmem_resident: bool = False,
+) -> OpNode:
+    """Row-wise softmax: ~5 vector FLOPs per element (max/sub/exp/sum/div)."""
+    elements = rows * row_length
+    return OpNode(
+        name=name,
+        op_type="softmax",
+        flops=5.0 * elements,
+        bytes_in=elements * dtype_bytes,
+        bytes_out=elements * dtype_bytes,
+        unit=UNIT_VPU,
+        attrs={"cmem_resident": 1.0} if cmem_resident else {},
+    )
+
+
+def pooling(
+    name: str,
+    height: int,
+    width: int,
+    channels: int,
+    window: int,
+    batch: int = 1,
+    dtype_bytes: float = DEFAULT_DTYPE_BYTES,
+) -> OpNode:
+    """Average/max pooling over ``window x window``."""
+    out_elems = batch * _out_hw(height, window) * _out_hw(width, window) * channels
+    return OpNode(
+        name=name,
+        op_type="pooling",
+        flops=batch * height * width * channels,
+        bytes_in=batch * height * width * channels * dtype_bytes,
+        bytes_out=out_elems * dtype_bytes,
+        unit=UNIT_VPU,
+    )
+
+
+def concat(name: str, total_elements: float, dtype_bytes: float = DEFAULT_DTYPE_BYTES) -> OpNode:
+    """Concatenation — pure data movement."""
+    moved = total_elements * dtype_bytes
+    return OpNode(
+        name=name,
+        op_type="concat",
+        flops=0.0,
+        bytes_in=moved,
+        bytes_out=moved,
+        unit=UNIT_MEMORY,
+    )
+
+
+def all_to_all(name: str, payload_bytes: float) -> OpNode:
+    """Cross-chip shuffle of ``payload_bytes`` over the interconnect."""
+    return OpNode(
+        name=name,
+        op_type="all_to_all",
+        bytes_in=payload_bytes,
+        bytes_out=payload_bytes,
+        network_bytes=payload_bytes,
+        unit=UNIT_NETWORK,
+    )

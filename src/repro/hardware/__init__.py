@@ -1,0 +1,62 @@
+"""Hardware substrate: configs, roofline, simulator, power, testbed."""
+
+from .cluster import ClusterModel, ClusterStep, allreduce_time
+from .config import GPU_V100, HardwareConfig, PLATFORMS, TPU_V4, TPU_V4I, platform
+from .power import PowerReport, power_report, utilizations
+from .roofline import (
+    RooflinePoint,
+    graph_roofline,
+    mxu_efficiency,
+    peak_compute_rate,
+    roofline_point,
+    tile_efficiency,
+)
+from .serving import (
+    ServingPoint,
+    ServingReport,
+    measure_serving_point,
+    optimize_serving_throughput,
+)
+from .simulator import OpTiming, PerformanceSimulator, SimulationResult, simulate
+from .testbed import HardwareTestbed, TestbedCalibration
+from .whatif import (
+    ResourceSensitivity,
+    bottleneck,
+    resource_sensitivity,
+    sensitivity_profile,
+)
+
+__all__ = [
+    "ClusterModel",
+    "ClusterStep",
+    "GPU_V100",
+    "allreduce_time",
+    "HardwareConfig",
+    "HardwareTestbed",
+    "OpTiming",
+    "PLATFORMS",
+    "PerformanceSimulator",
+    "PowerReport",
+    "ResourceSensitivity",
+    "RooflinePoint",
+    "ServingPoint",
+    "ServingReport",
+    "SimulationResult",
+    "TPU_V4",
+    "TPU_V4I",
+    "TestbedCalibration",
+    "graph_roofline",
+    "measure_serving_point",
+    "mxu_efficiency",
+    "optimize_serving_throughput",
+    "peak_compute_rate",
+    "platform",
+    "power_report",
+    "roofline_point",
+    "bottleneck",
+    "resource_sensitivity",
+    "sensitivity_profile",
+    "simulate",
+    "tile_efficiency",
+    "utilizations",
+]

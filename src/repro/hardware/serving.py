@@ -1,0 +1,105 @@
+"""Serving performance under a P99 latency target (Section 6.2.2).
+
+The paper's serving metric is "the serving throughput under P99 target
+latency": production serving batches requests, and larger batches raise
+throughput until tail latency breaks the SLO.  This module measures
+that trade-off on the hardware testbed — whose run-to-run noise gives
+tail latency real meaning — and finds the largest batch (hence highest
+throughput) that still meets the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..graph.ir import OpGraph
+from .testbed import HardwareTestbed
+
+#: Builds the serving graph for a given batch size.
+GraphBuilder = Callable[[int], OpGraph]
+
+DEFAULT_BATCH_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """Serving behaviour at one batch size."""
+
+    batch_size: int
+    p50_latency_s: float
+    p99_latency_s: float
+
+    @property
+    def throughput(self) -> float:
+        """Sustained queries/second at this batch size."""
+        return self.batch_size / self.p50_latency_s
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of a serving-throughput optimization."""
+
+    target_latency_s: float
+    best: Optional[ServingPoint]
+    points: tuple
+
+    @property
+    def feasible(self) -> bool:
+        return self.best is not None
+
+    @property
+    def throughput_under_target(self) -> float:
+        """QPS at the chosen operating point (0 when infeasible)."""
+        return self.best.throughput if self.best else 0.0
+
+
+def measure_serving_point(
+    testbed: HardwareTestbed,
+    build_graph: GraphBuilder,
+    batch_size: int,
+    num_measurements: int = 50,
+) -> ServingPoint:
+    """Latency percentiles at ``batch_size`` from repeated measurement."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if num_measurements < 2:
+        raise ValueError("need at least two measurements for percentiles")
+    graph = build_graph(batch_size)
+    samples = np.array([testbed.measure_time(graph) for _ in range(num_measurements)])
+    return ServingPoint(
+        batch_size=batch_size,
+        p50_latency_s=float(np.percentile(samples, 50)),
+        p99_latency_s=float(np.percentile(samples, 99)),
+    )
+
+
+def optimize_serving_throughput(
+    testbed: HardwareTestbed,
+    build_graph: GraphBuilder,
+    target_latency_s: float,
+    batch_candidates: Sequence[int] = DEFAULT_BATCH_CANDIDATES,
+    num_measurements: int = 50,
+) -> ServingReport:
+    """Highest-throughput batch size whose P99 latency meets the target.
+
+    Batch candidates are probed in increasing order; the sweep stops at
+    the first infeasible size (latency grows monotonically with batch).
+    """
+    if target_latency_s <= 0:
+        raise ValueError("target latency must be positive")
+    points = []
+    best: Optional[ServingPoint] = None
+    for batch in sorted(set(batch_candidates)):
+        point = measure_serving_point(testbed, build_graph, batch, num_measurements)
+        points.append(point)
+        if point.p99_latency_s <= target_latency_s:
+            if best is None or point.throughput > best.throughput:
+                best = point
+        else:
+            break
+    return ServingReport(
+        target_latency_s=target_latency_s, best=best, points=tuple(points)
+    )

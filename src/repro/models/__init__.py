@@ -1,0 +1,55 @@
+"""Model families: DLRM, EfficientNet-X/-H, CoAtNet/-H builders."""
+
+from . import cnn_timing, coatnet, dlrm, dlrm_sharding, efficientnet, mbconv, production, timing, vit_timing
+from .cnn_timing import CnnBaseline, CnnTimingHarness, build_cnn_graph
+from .coatnet import COATNET, COATNET_H, CoatNetConfig, coatnet_h
+from .dlrm import (
+    DlrmModelSpec,
+    MlpStackSpec,
+    TableSpec,
+    apply_architecture,
+    baseline_production_dlrm,
+    dlrm_h,
+    pipeline_times,
+)
+from .efficientnet import EFFICIENTNET_H, EFFICIENTNET_X, EfficientNetConfig
+from .timing import DlrmTimingHarness
+from .vit_timing import VitBaseline, VitTimingHarness, build_vit_graph
+from .mbconv import MbconvSpec, add_mbconv, block_params, single_block_graph
+
+__all__ = [
+    "COATNET",
+    "CnnBaseline",
+    "CnnTimingHarness",
+    "DlrmTimingHarness",
+    "VitBaseline",
+    "VitTimingHarness",
+    "build_cnn_graph",
+    "build_vit_graph",
+    "cnn_timing",
+    "dlrm_sharding",
+    "production",
+    "timing",
+    "vit_timing",
+    "COATNET_H",
+    "CoatNetConfig",
+    "DlrmModelSpec",
+    "EFFICIENTNET_H",
+    "EFFICIENTNET_X",
+    "EfficientNetConfig",
+    "MbconvSpec",
+    "MlpStackSpec",
+    "TableSpec",
+    "add_mbconv",
+    "apply_architecture",
+    "baseline_production_dlrm",
+    "block_params",
+    "coatnet",
+    "coatnet_h",
+    "dlrm",
+    "dlrm_h",
+    "efficientnet",
+    "mbconv",
+    "pipeline_times",
+    "single_block_graph",
+]

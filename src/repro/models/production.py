@@ -1,0 +1,111 @@
+"""Production-model fleet for the Figure 10 experiments.
+
+Section 7.3 applies H2O-NAS to a fleet of production computer-vision
+and DLRM models with zero manual intervention.  We stand the fleet up
+with (a) five CV baselines drawn from the CoAtNet family at different
+scales, searched over a compact hybrid space (resolution, conv/tfm
+depth deltas, activation), and (b) five DLRM baselines with varying
+table counts and MLP shapes, searched over the Table 5 DLRM space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..searchspace.base import Architecture, Decision, SearchSpace
+from .coatnet import COATNET, CoatNetConfig
+from .dlrm import DlrmModelSpec, MlpStackSpec, TableSpec, baseline_production_dlrm
+
+#: Searchable knobs of the production CV space.
+CV_RESOLUTIONS: Tuple[int, ...] = (224, 160, 192, 256, 288)
+CV_CONV_DEPTH_DELTAS: Tuple[int, ...] = (0, -2, 2, 4)
+CV_TFM_DEPTH_DELTAS: Tuple[int, ...] = (0, -2, -1, 1, 2)
+CV_ACTIVATIONS: Tuple[str, ...] = ("gelu", "relu", "swish", "squared_relu")
+
+
+def cv_search_space() -> SearchSpace:
+    """Compact production CV search space over CoAtNet-style knobs."""
+    return SearchSpace(
+        "production_cv",
+        [
+            Decision("resolution", CV_RESOLUTIONS, ("cv", "resolution")),
+            Decision("conv_depth_delta", CV_CONV_DEPTH_DELTAS, ("cv", "depth")),
+            Decision("tfm_depth_delta", CV_TFM_DEPTH_DELTAS, ("cv", "depth")),
+            Decision("activation", CV_ACTIVATIONS, ("cv", "activation")),
+        ],
+    )
+
+
+def apply_cv_architecture(
+    baseline: CoatNetConfig, arch: Architecture, name: str = "cv_candidate"
+) -> CoatNetConfig:
+    """Apply production-CV search decisions to a CoAtNet baseline."""
+    conv_extra = int(arch["conv_depth_delta"])
+    conv_depths = (
+        baseline.conv_depths[0],
+        max(1, baseline.conv_depths[1] + conv_extra),
+    )
+    tfm_extra = int(arch["tfm_depth_delta"])
+    tfm_depths = (
+        max(1, baseline.tfm_depths[0] + tfm_extra),
+        baseline.tfm_depths[1],
+    )
+    return replace(
+        baseline,
+        name=name,
+        resolution=int(arch["resolution"]),
+        conv_depths=conv_depths,
+        tfm_depths=tfm_depths,
+        activation=str(arch["activation"]),
+    )
+
+
+def cv_production_fleet() -> Dict[str, CoatNetConfig]:
+    """Five production CV baselines (CV1..CV5) at different scales.
+
+    Production models are human-designed and drift off the
+    hardware-optimal Pareto front (the premise of Section 7.3): these
+    baselines run at a high 288x288 resolution with plain ReLU
+    activations, leaving exactly the kind of slack — trade resolution
+    for depth, upgrade the activation — that H2O-NAS converts into
+    simultaneous quality and performance gains in Figure 10.
+    """
+    members = {
+        "CV1": COATNET["0"],
+        "CV2": COATNET["1"],
+        "CV3": COATNET["2"],
+        "CV4": COATNET["3"],
+        "CV5": COATNET["4"],
+    }
+    return {
+        label: replace(
+            config,
+            name=f"prod_{label.lower()}",
+            resolution=288,
+            activation="relu",
+        )
+        for label, config in members.items()
+    }
+
+
+def dlrm_production_fleet() -> Dict[str, DlrmModelSpec]:
+    """Five production DLRM baselines (DLRM1..DLRM5) of varied shape."""
+    shapes = {
+        "DLRM1": dict(num_tables=4, bottom=(1024, 3), top=(2048, 6), lookups=16),
+        "DLRM2": dict(num_tables=4, bottom=(2048, 3), top=(4096, 8), lookups=32),
+        "DLRM3": dict(num_tables=6, bottom=(1536, 2), top=(3072, 7), lookups=24),
+        "DLRM4": dict(num_tables=8, bottom=(2048, 4), top=(4096, 6), lookups=32),
+        "DLRM5": dict(num_tables=6, bottom=(1024, 3), top=(3072, 9), lookups=48),
+    }
+    fleet: Dict[str, DlrmModelSpec] = {}
+    for label, shape in shapes.items():
+        base = baseline_production_dlrm(num_tables=shape["num_tables"])
+        fleet[label] = replace(
+            base,
+            name=f"prod_{label.lower()}",
+            bottom=MlpStackSpec(width=shape["bottom"][0], depth=shape["bottom"][1]),
+            top=MlpStackSpec(width=shape["top"][0], depth=shape["top"][1]),
+            lookups_per_table=shape["lookups"],
+        )
+    return fleet

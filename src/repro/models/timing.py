@@ -1,0 +1,98 @@
+"""Timing harnesses: architecture -> model spec -> simulated/measured time.
+
+These tie the search spaces to the hardware substrate: an architecture
+sampled by the RL controller is lowered to a concrete model spec, built
+into an op graph, and timed either on the clean simulator (pre-training
+data for the performance model) or on the hardware testbed (the stand-in
+for real-TPU measurement used for fine-tuning and final evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..graph.ir import OpGraph
+from ..hardware.config import HardwareConfig, TPU_V4, TPU_V4I
+from ..hardware.simulator import PerformanceSimulator
+from ..hardware.testbed import HardwareTestbed
+from ..searchspace.base import Architecture
+from .dlrm import DlrmModelSpec, apply_architecture, build_graph, num_params
+
+EMBEDDING_DTYPE_BYTES = 4.0
+SERVING_BATCH = 128
+
+
+class DlrmTimingHarness:
+    """Times DLRM architectures for training and serving."""
+
+    def __init__(
+        self,
+        baseline: DlrmModelSpec,
+        train_hw: HardwareConfig = TPU_V4,
+        serve_hw: HardwareConfig = TPU_V4I,
+        serving_batch: int = SERVING_BATCH,
+        seed: int = 0,
+    ):
+        self.baseline = baseline
+        self.train_hw = train_hw
+        self.serve_hw = serve_hw
+        self.serving_batch = serving_batch
+        self._train_sim = PerformanceSimulator(train_hw)
+        self._serve_sim = PerformanceSimulator(serve_hw)
+        self._train_bed = HardwareTestbed(train_hw, seed=seed)
+        self._serve_bed = HardwareTestbed(serve_hw, seed=seed + 1)
+
+    # ------------------------------------------------------------------
+    def spec_of(self, arch: Architecture) -> DlrmModelSpec:
+        """Lower an architecture to a concrete model spec."""
+        return apply_architecture(self.baseline, arch)
+
+    def _graphs(self, arch: Architecture) -> Tuple[OpGraph, OpGraph]:
+        spec = self.spec_of(arch)
+        serving_spec = replace(
+            spec,
+            name=spec.name + "_serving",
+            batch=self.serving_batch,
+            distributed=False,
+        )
+        return build_graph(spec), build_graph(serving_spec)
+
+    # ------------------------------------------------------------------
+    def simulate(self, arch: Architecture) -> Tuple[float, float]:
+        """(train_step_time, serving_latency) from the clean simulator."""
+        train_graph, serve_graph = self._graphs(arch)
+        return (
+            self._train_sim.simulate(train_graph).total_time_s,
+            self._serve_sim.simulate(serve_graph).total_time_s,
+        )
+
+    def measure(self, arch: Architecture) -> Tuple[float, float]:
+        """(train_step_time, serving_latency) from the hardware testbed."""
+        train_graph, serve_graph = self._graphs(arch)
+        return (
+            self._train_bed.measure_time(train_graph),
+            self._serve_bed.measure_time(serve_graph),
+        )
+
+    def measure_deterministic(self, arch: Architecture) -> Tuple[float, float]:
+        """Noise-free testbed times (for evaluation sweeps)."""
+        train_graph, serve_graph = self._graphs(arch)
+        return (
+            self._train_bed.deterministic_time(train_graph),
+            self._serve_bed.deterministic_time(serve_graph),
+        )
+
+    def model_size(self, arch: Architecture) -> float:
+        """Serving memory footprint in bytes (the analytical size head)."""
+        return num_params(self.spec_of(arch)) * EMBEDDING_DTYPE_BYTES
+
+    # ------------------------------------------------------------------
+    def metrics_from_simulator(self, arch: Architecture) -> Dict[str, float]:
+        """A performance_fn for searches, backed by the simulator."""
+        train_time, serve_time = self.simulate(arch)
+        return {
+            "train_step_time": train_time,
+            "serving_latency": serve_time,
+            "model_size": self.model_size(arch),
+        }

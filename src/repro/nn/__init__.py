@@ -1,0 +1,46 @@
+"""NumPy-based neural-network substrate (autograd, layers, optimizers)."""
+
+from .tensor import Tensor, as_tensor, concatenate, stack_mean
+from .layers import (
+    ACTIVATIONS,
+    Dense,
+    LayerNorm,
+    LowRankDense,
+    MLP,
+    MaskedDense,
+    MaskedEmbedding,
+    Module,
+    Sequential,
+    activation,
+)
+from .losses import accuracy, bce_with_logits, binary_accuracy, mse, softmax_cross_entropy
+from .optim import Adam, Optimizer, SGD
+from .schedules import CosineSchedule, ScheduledOptimizer, StepDecaySchedule
+
+__all__ = [
+    "ACTIVATIONS",
+    "Adam",
+    "CosineSchedule",
+    "Dense",
+    "LayerNorm",
+    "LowRankDense",
+    "MLP",
+    "MaskedDense",
+    "MaskedEmbedding",
+    "Module",
+    "Optimizer",
+    "SGD",
+    "ScheduledOptimizer",
+    "StepDecaySchedule",
+    "Sequential",
+    "Tensor",
+    "accuracy",
+    "activation",
+    "as_tensor",
+    "bce_with_logits",
+    "binary_accuracy",
+    "concatenate",
+    "mse",
+    "softmax_cross_entropy",
+    "stack_mean",
+]

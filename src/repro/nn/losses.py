@@ -1,0 +1,64 @@
+"""Loss functions used across the reproduction.
+
+* Binary cross-entropy with logits — DLRM click-through prediction.
+* Softmax cross-entropy — vision classification proxies.
+* Mean-squared error — the MLP performance model regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically-stable binary cross entropy on raw logits.
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))`` expressed through the
+    autograd primitives.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    probs = logits.sigmoid()
+    eps = 1e-9
+    loss = -(
+        Tensor(targets) * (probs + eps).log()
+        + Tensor(1.0 - targets) * (1.0 - probs + eps).log()
+    )
+    return loss.mean()
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross entropy of integer ``labels`` against ``logits``.
+
+    ``logits`` has shape ``(batch, classes)``; the log-sum-exp is
+    stabilized by subtracting the rowwise max (a constant w.r.t. the
+    gradient path, applied through detached data).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    shift = logits.data.max(axis=1, keepdims=True)
+    shifted = logits - Tensor(shift)
+    log_norm = shifted.exp().sum(axis=1, keepdims=True).log()
+    log_probs = shifted - log_norm
+    picked_mask = np.zeros(logits.shape)
+    picked_mask[np.arange(labels.shape[0]), labels] = 1.0
+    picked = (log_probs * Tensor(picked_mask)).sum(axis=1)
+    return -picked.mean()
+
+
+def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against constant targets."""
+    diff = predictions - Tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor, labels: np.ndarray) -> float:
+    """Top-1 accuracy for classification logits."""
+    predicted = logits.data.argmax(axis=1)
+    return float((predicted == np.asarray(labels)).mean())
+
+
+def binary_accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Accuracy of thresholded sigmoid predictions."""
+    predicted = (logits.data > 0.0).astype(np.float64)
+    return float((predicted == np.asarray(targets)).mean())

@@ -1,0 +1,82 @@
+"""Learning-rate schedules for long training runs.
+
+Production training (and the paper's super-network searches) use
+warmup + decay schedules; these helpers compute the multiplier for a
+step and apply it to any :class:`~repro.nn.optim.Optimizer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .optim import Optimizer
+
+
+@dataclass(frozen=True)
+class CosineSchedule:
+    """Linear warmup followed by cosine decay to ``final_fraction``."""
+
+    total_steps: int
+    warmup_steps: int = 0
+    final_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if not (0 <= self.warmup_steps < self.total_steps):
+            raise ValueError("warmup_steps must be in [0, total_steps)")
+        if not (0.0 <= self.final_fraction <= 1.0):
+            raise ValueError("final_fraction must be in [0, 1]")
+
+    def multiplier(self, step: int) -> float:
+        """LR multiplier at ``step`` (0-indexed; clamps past the end)."""
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        if self.warmup_steps and step < self.warmup_steps:
+            return (step + 1) / self.warmup_steps
+        span = max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, (step - self.warmup_steps) / span)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.final_fraction + (1.0 - self.final_fraction) * cosine
+
+
+@dataclass(frozen=True)
+class StepDecaySchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    step_size: int
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not (0.0 < self.gamma <= 1.0):
+            raise ValueError("gamma must be in (0, 1]")
+
+    def multiplier(self, step: int) -> float:
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        return self.gamma ** (step // self.step_size)
+
+
+class ScheduledOptimizer:
+    """Wraps an optimizer, applying a schedule's multiplier per step."""
+
+    def __init__(self, optimizer: Optimizer, schedule):
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self._base_lr = optimizer.lr
+        self._step = 0
+
+    @property
+    def current_lr(self) -> float:
+        return self._base_lr * self.schedule.multiplier(self._step)
+
+    def zero_grad(self) -> None:
+        self.optimizer.zero_grad()
+
+    def step(self) -> None:
+        self.optimizer.lr = self.current_lr
+        self.optimizer.step()
+        self._step += 1

@@ -1,0 +1,429 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the neural-network substrate of the reproduction: the
+weight-sharing super-networks (Section 5 of the paper) and the MLP
+performance model (Section 6.2) are trained with it.  It implements a
+small, explicit autograd ``Tensor`` supporting the operations those
+networks need: broadcasting arithmetic, matmul, common activations
+(including the squared ReLU that H2O-NAS discovers for CoAtNet-H),
+reductions, reshaping, gather (embedding lookup), and masking.
+
+The design is deliberately simple: each ``Tensor`` records its parents
+and a closure that accumulates gradients into them; ``backward`` runs a
+topological sort and applies the closures in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting may have added leading axes and/or stretched axes of
+    size one; the gradient of a broadcast input is the sum over the
+    broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from size one.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode gradient tracking."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
+        self._parents = parents if self.requires_grad else ()
+        self._backward = backward if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{tag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a tensor with exactly one element")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a view of the same data with no gradient history."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # Gradient accumulation
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor to every ancestor.
+
+        ``grad`` defaults to ones (i.e. this tensor must be a scalar
+        loss unless an explicit output gradient is provided).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor without grad tracking")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without a gradient requires a scalar")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor(out_data, parents=(self, other), backward=backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor(-self.data, parents=(self,), backward=backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor(out_data, parents=(self, other), backward=backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        return Tensor(out_data, parents=(self, other), backward=backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data)
+                else:
+                    g = grad @ np.swapaxes(other.data, -1, -2)
+                    self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad))
+                else:
+                    g = np.swapaxes(self.data, -1, -2) @ grad
+                    other._accumulate(_unbroadcast(g, other.shape))
+
+        return Tensor(out_data, parents=(self, other), backward=backward)
+
+    # ------------------------------------------------------------------
+    # Activations and element-wise functions
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def squared_relu(self) -> "Tensor":
+        """``relu(x)**2`` — the activation H2O-NAS selects for CoAtNet-H."""
+        pos = np.maximum(self.data, 0.0)
+        out_data = pos * pos
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 2.0 * pos)
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def swish(self) -> "Tensor":
+        """``x * sigmoid(x)`` (a.k.a. SiLU), used in the CNN search space."""
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        out_data = self.data * sig
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (sig + self.data * sig * (1.0 - sig)))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def gelu(self) -> "Tensor":
+        """Tanh approximation of GELU, used in the ViT search space."""
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (self.data + 0.044715 * self.data**3)
+        tanh = np.tanh(inner)
+        out_data = 0.5 * self.data * (1.0 + tanh)
+
+        def backward(grad: np.ndarray) -> None:
+            sech2 = 1.0 - tanh**2
+            d_inner = c * (1.0 + 3 * 0.044715 * self.data**2)
+            self._accumulate(grad * (0.5 * (1.0 + tanh) + 0.5 * self.data * sech2 * d_inner))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis``.
+
+        The stabilizing max-shift is treated as a constant (its
+        contribution to the gradient cancels exactly), so the op
+        composes from exp/sum/div primitives.
+        """
+        shift = Tensor(self.data.max(axis=axis, keepdims=True))
+        shifted = self - shift
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -700.0, 700.0))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape manipulation
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(*shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = axes if axes else tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes_t)
+        inverse = np.argsort(axes_t)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Select rows by integer index — the embedding-lookup primitive.
+
+        ``indices`` has any shape; the output has shape
+        ``indices.shape + (row_width,)``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.zeros_like(self.data)
+            np.add.at(g, indices, grad)
+            self._accumulate(g)
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def mask(self, mask_array: np.ndarray) -> "Tensor":
+        """Multiply by a constant 0/1 mask (broadcastable).
+
+        This is the fine-grained weight-sharing primitive of the
+        super-network: narrower candidate layers reuse the upper-left
+        sub-matrix of the widest weights by masking the rest out.
+        """
+        mask_array = np.asarray(mask_array, dtype=np.float64)
+        out_data = self.data * mask_array
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * mask_array, self.shape))
+
+        return Tensor(out_data, parents=(self,), backward=backward)
+
+    def clip_norm_value(self) -> float:
+        """L2 norm of the data (convenience for diagnostics)."""
+        return float(np.linalg.norm(self.data))
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a ``Tensor`` (no-op for tensors)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor(out_data, parents=tuple(tensors), backward=backward)
+
+
+def stack_mean(tensors: Sequence[Tensor]) -> Tensor:
+    """Mean of several same-shaped tensors (cross-shard weight update)."""
+    if not tensors:
+        raise ValueError("stack_mean requires at least one tensor")
+    total = tensors[0]
+    for tensor in tensors[1:]:
+        total = total + tensor
+    return total * (1.0 / len(tensors))

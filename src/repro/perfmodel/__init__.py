@@ -1,0 +1,17 @@
+"""Two-phase hybrid performance model (Section 6.2 of the paper)."""
+
+from .features import ArchitectureEncoder
+from .metrics import mean_relative_error, nrmse, rmse
+from .model import PerformanceModel
+from .training import PhaseReport, TwoPhaseConfig, TwoPhaseTrainer
+
+__all__ = [
+    "ArchitectureEncoder",
+    "PerformanceModel",
+    "PhaseReport",
+    "TwoPhaseConfig",
+    "TwoPhaseTrainer",
+    "mean_relative_error",
+    "nrmse",
+    "rmse",
+]

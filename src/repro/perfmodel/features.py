@@ -1,0 +1,62 @@
+"""Architecture feature encoding for the performance model.
+
+The performance model's inputs are "the model architecture
+hyper-parameters as shown in Table 5" (Section 6.2.1).  We encode an
+architecture as the concatenated one-hot vectors of its categorical
+decisions — the exact information the RL controller injects per search
+step — plus, for numeric decisions, a normalized scalar channel that
+helps the MLP interpolate between ordered choices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..searchspace.base import Architecture, SearchSpace
+
+
+class ArchitectureEncoder:
+    """Encodes architectures of one search space as feature vectors."""
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+        self._numeric: List[bool] = [
+            all(isinstance(c, (int, float)) and not isinstance(c, bool) for c in d.choices)
+            for d in space.decisions
+        ]
+        self._spans: List[float] = []
+        for decision, numeric in zip(space.decisions, self._numeric):
+            if numeric:
+                values = [float(c) for c in decision.choices]
+                span = max(values) - min(values)
+                self._spans.append(span if span > 0 else 1.0)
+            else:
+                self._spans.append(1.0)
+
+    @property
+    def num_features(self) -> int:
+        onehot = sum(d.num_choices for d in self.space.decisions)
+        numeric = sum(self._numeric)
+        return onehot + numeric
+
+    def encode(self, arch: Architecture) -> np.ndarray:
+        """Feature vector of one architecture."""
+        parts: List[np.ndarray] = []
+        for decision, numeric, span in zip(
+            self.space.decisions, self._numeric, self._spans
+        ):
+            value = arch[decision.name]
+            onehot = np.zeros(decision.num_choices)
+            onehot[decision.index_of(value)] = 1.0
+            parts.append(onehot)
+            if numeric:
+                values = [float(c) for c in decision.choices]
+                normalized = (float(value) - min(values)) / span
+                parts.append(np.array([normalized]))
+        return np.concatenate(parts)
+
+    def encode_batch(self, archs) -> np.ndarray:
+        """Feature matrix ``(len(archs), num_features)``."""
+        return np.stack([self.encode(a) for a in archs])

@@ -1,0 +1,21 @@
+"""Quality surrogates for hyperscale models (substitution for real training)."""
+
+from .surrogate import (
+    ACTIVATION_BONUS,
+    DATASET_CALIBRATION,
+    DlrmQualityModel,
+    activation_bonus,
+    capacity_quality,
+    coatnet_quality,
+    efficientnet_quality,
+)
+
+__all__ = [
+    "ACTIVATION_BONUS",
+    "DATASET_CALIBRATION",
+    "DlrmQualityModel",
+    "activation_bonus",
+    "capacity_quality",
+    "coatnet_quality",
+    "efficientnet_quality",
+]

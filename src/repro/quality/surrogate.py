@@ -1,0 +1,149 @@
+"""Analytical quality surrogates for hyperscale-scale models.
+
+The paper measures quality by actually training CoAtNet/EfficientNet on
+ImageNet/JFT and DLRMs on production traffic — compute we do not have.
+The benchmark harness therefore uses calibrated analytical surrogates
+(documented as a substitution in DESIGN.md):
+
+* **Vision**: a saturating power law in parameter count (capacity) per
+  pretraining-dataset scale, plus the three Table-3 effects — a
+  log-depth bonus for a deeper convolution part, a log-resolution term,
+  and a per-activation bonus.  The constants are fitted so the four
+  rows of Table 3 reproduce exactly (89.7 -> 90.3 -> 88.9 -> 89.7) and
+  the CoAtNet family accuracies land near their published values.
+* **DLRM**: log-capacity terms for memorization (total embedding
+  parameters) and generalization (MLP compute), calibrated so the
+  searched DLRM-H rebalance yields the paper's +0.02% quality.
+
+These surrogates only need to be *directionally* right: the searches
+and Pareto benches use them as the quality axis, and the reproduction
+claims concern who wins and by roughly what factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..models.coatnet import CoatNetConfig, num_params as coatnet_params
+from ..models.dlrm import DlrmModelSpec
+from ..models.efficientnet import EfficientNetConfig, num_params as enet_params
+
+#: Per-activation quality bonus (percentage points of top-1 accuracy).
+ACTIVATION_BONUS: Dict[str, float] = {
+    "gelu": 0.0,
+    "squared_relu": 0.8,
+    "swish": 0.1,
+    "relu": -0.2,
+    "linear": -1.0,
+}
+
+#: (accuracy ceiling, capacity decay) per pretraining-dataset scale.
+DATASET_CALIBRATION: Dict[str, tuple] = {
+    "small": (87.5, 12.4),  # ImageNet-1K pretraining
+    "medium": (90.5, 13.6),  # ImageNet-21K
+    "large": (92.0, 16.3),  # JFT-300M
+}
+
+CAPACITY_EXPONENT = 0.30
+DEPTH_COEF = 2.086  # fitted to Table 3's +DeeperConv row (+0.6 for 12 -> 16)
+RESOLUTION_COEF = 4.161  # fitted to Table 3's +ResShrink row (-1.4 for 224 -> 160)
+BASE_CONV_LAYERS = 12
+BASE_RESOLUTION = 224
+
+
+def capacity_quality(params: float, dataset: str = "large") -> float:
+    """Saturating accuracy-vs-parameters law for one dataset scale."""
+    if params <= 0:
+        raise ValueError("params must be positive")
+    try:
+        ceiling, decay = DATASET_CALIBRATION[dataset]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; expected {sorted(DATASET_CALIBRATION)}"
+        ) from None
+    millions = params / 1e6
+    return ceiling - decay * millions ** (-CAPACITY_EXPONENT)
+
+
+def activation_bonus(activation: str) -> float:
+    try:
+        return ACTIVATION_BONUS[activation]
+    except KeyError:
+        raise ValueError(f"no quality calibration for activation {activation!r}") from None
+
+
+def _soft_cap(quality: float, ceiling: float, width: float = 0.5) -> float:
+    """Smoothly saturate ``quality`` below ``ceiling``.
+
+    Monotone in ``quality`` (so family orderings survive saturation) and
+    within ~0.01 of the identity when ``quality`` sits more than a few
+    ``width`` units below the ceiling — the Table 3 anchors are
+    unaffected.
+    """
+    scaled = (ceiling - quality) / width
+    # log(1 + exp(scaled)) computed stably for both signs.
+    softplus = max(scaled, 0.0) + math.log1p(math.exp(-abs(scaled)))
+    return ceiling - width * softplus
+
+
+def coatnet_quality(config: CoatNetConfig, dataset: str = "large") -> float:
+    """Top-1 ImageNet accuracy surrogate for a CoAtNet-style config."""
+    quality = capacity_quality(coatnet_params(config), dataset)
+    quality += DEPTH_COEF * math.log(config.conv_layers / BASE_CONV_LAYERS)
+    quality += RESOLUTION_COEF * math.log(config.resolution / BASE_RESOLUTION)
+    quality += activation_bonus(config.activation)
+    ceiling, _ = DATASET_CALIBRATION[dataset]
+    return _soft_cap(quality, ceiling)
+
+
+def efficientnet_quality(config: EfficientNetConfig, dataset: str = "small") -> float:
+    """Top-1 accuracy surrogate for an EfficientNet-style config.
+
+    EfficientNet models train on ImageNet-1K; resolution is part of the
+    compound scaling, so it enters through the same resolution term.
+    """
+    quality = capacity_quality(enet_params(config), dataset)
+    quality += RESOLUTION_COEF * math.log(config.resolution / BASE_RESOLUTION)
+    ceiling, _ = DATASET_CALIBRATION[dataset]
+    return _soft_cap(quality, ceiling)
+
+
+#: DLRM surrogate calibration: memorization/generalization coefficients
+#: fitted so the DLRM-H rebalance (+87.5% embedding capacity, -11.5% MLP
+#: compute) gains the paper's +0.02% quality.
+DLRM_MEMORIZATION_COEF = 0.10
+DLRM_GENERALIZATION_COEF = 0.35
+DLRM_BASE_QUALITY = 80.0
+
+
+@dataclass(frozen=True)
+class DlrmQualityModel:
+    """Quality surrogate anchored at a baseline DLRM spec."""
+
+    baseline: DlrmModelSpec
+    base_quality: float = DLRM_BASE_QUALITY
+
+    def embedding_capacity(self, spec: DlrmModelSpec) -> float:
+        """Memorization capacity: total embedding parameters."""
+        return sum(t.vocab * t.width for t in spec.tables)
+
+    def mlp_capacity(self, spec: DlrmModelSpec) -> float:
+        """Generalization capacity: MLP compute proxy (width^2 x depth),
+        discounted by low-rank factorization."""
+        total = 0.0
+        for stack in (spec.bottom, spec.top):
+            rank_discount = min(1.0, 2 * stack.low_rank)
+            total += stack.width**2 * stack.depth * rank_discount
+        return total
+
+    def quality(self, spec: DlrmModelSpec) -> float:
+        """AUC-like quality (percent) of ``spec``."""
+        emb_ratio = self.embedding_capacity(spec) / self.embedding_capacity(self.baseline)
+        mlp_ratio = self.mlp_capacity(spec) / self.mlp_capacity(self.baseline)
+        return (
+            self.base_quality
+            + DLRM_MEMORIZATION_COEF * math.log(emb_ratio)
+            + DLRM_GENERALIZATION_COEF * math.log(mlp_ratio)
+        )

@@ -1,0 +1,31 @@
+"""Search spaces for DLRM, CNN, and ViT models (Table 5 of the paper)."""
+
+from .base import Architecture, Decision, SearchSpace
+from .cnn import CHOICES_PER_BLOCK, CnnSpaceConfig, cnn_search_space
+from .dlrm import DlrmSpaceConfig, dlrm_search_space
+from .sizes import PAPER_LOG10, SpaceSizeRow, per_block_cardinalities, table5_size_rows
+from .vit import (
+    CHOICES_PER_TFM_BLOCK,
+    VitSpaceConfig,
+    hybrid_vit_search_space,
+    vit_search_space,
+)
+
+__all__ = [
+    "Architecture",
+    "CHOICES_PER_BLOCK",
+    "CHOICES_PER_TFM_BLOCK",
+    "CnnSpaceConfig",
+    "Decision",
+    "DlrmSpaceConfig",
+    "PAPER_LOG10",
+    "SearchSpace",
+    "SpaceSizeRow",
+    "VitSpaceConfig",
+    "cnn_search_space",
+    "dlrm_search_space",
+    "hybrid_vit_search_space",
+    "per_block_cardinalities",
+    "table5_size_rows",
+    "vit_search_space",
+]

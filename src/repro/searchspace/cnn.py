@@ -1,0 +1,91 @@
+"""Hardware-optimized convolutional search space (Table 5, top).
+
+Each of the model's blocks contributes ten categorical decisions —
+block type (MBConv vs fused MBConv), kernel size, stride, expansion
+ratio, activation, tensor reshaping, squeeze-and-excite ratio, skip
+connection, depth delta, and width delta — for 302,400 combinations per
+block, plus a global initial-resolution decision with 8 choices.  With
+the paper's 7 blocks the space holds ``302400^7 * 8 ~ O(10^39)``
+architectures.
+
+Delta-valued decisions are expressed relative to a baseline model (the
+EfficientNet-X family in the paper) and list the zero delta first so
+``SearchSpace.default_architecture`` reproduces the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .base import Decision, SearchSpace
+
+BLOCK_TYPES: Tuple[str, ...] = ("mbconv", "fused_mbconv")
+KERNEL_SIZES: Tuple[int, ...] = (3, 5, 7)
+STRIDES: Tuple[int, ...] = (1, 2, 4)
+EXPANSION_RATIOS: Tuple[int, ...] = (6, 1, 3, 4)
+ACTIVATIONS: Tuple[str, ...] = ("swish", "relu")
+RESHAPING: Tuple[str, ...] = ("none", "space_to_depth", "space_to_batch")
+SE_RATIOS: Tuple[float, ...] = (0.25, 0.0, 1.0, 0.5, 0.125)
+SKIP_CONNECTIONS: Tuple[str, ...] = ("identity", "none")
+DEPTH_DELTAS: Tuple[int, ...] = (0, -3, -2, -1, 1, 2, 3)
+#: Ten width deltas (in units of the model-dependent channel quantum X),
+#: the zero delta first; the count matches Table 5's "[-5,+5] x X,
+#: excluding zero" accounting of 10 options.
+WIDTH_DELTAS: Tuple[int, ...] = (0, -5, -4, -3, -2, -1, 1, 2, 3, 4)
+#: Eight initial resolutions spanning 224x224 to 600x600.
+RESOLUTIONS: Tuple[int, ...] = (224, 256, 300, 380, 456, 528, 560, 600)
+
+#: Decisions per block — the per-block cardinality Table 5 reports.
+CHOICES_PER_BLOCK = (
+    len(BLOCK_TYPES)
+    * len(KERNEL_SIZES)
+    * len(STRIDES)
+    * len(EXPANSION_RATIOS)
+    * len(ACTIVATIONS)
+    * len(RESHAPING)
+    * len(SE_RATIOS)
+    * len(SKIP_CONNECTIONS)
+    * len(DEPTH_DELTAS)
+    * len(WIDTH_DELTAS)
+)
+
+
+@dataclass(frozen=True)
+class CnnSpaceConfig:
+    """Shape of a convolutional search space."""
+
+    num_blocks: int = 7
+    include_resolution: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+
+
+def block_decisions(block: int) -> List[Decision]:
+    """The ten decisions of convolutional block ``block``."""
+    prefix = f"block{block}"
+    tags = ("cnn", f"block{block}")
+    return [
+        Decision(f"{prefix}/type", BLOCK_TYPES, tags + ("block_type",)),
+        Decision(f"{prefix}/kernel", KERNEL_SIZES, tags + ("kernel",)),
+        Decision(f"{prefix}/stride", STRIDES, tags + ("stride",)),
+        Decision(f"{prefix}/expansion", EXPANSION_RATIOS, tags + ("expansion",)),
+        Decision(f"{prefix}/activation", ACTIVATIONS, tags + ("activation",)),
+        Decision(f"{prefix}/reshaping", RESHAPING, tags + ("reshaping",)),
+        Decision(f"{prefix}/se_ratio", SE_RATIOS, tags + ("se_ratio",)),
+        Decision(f"{prefix}/skip", SKIP_CONNECTIONS, tags + ("skip",)),
+        Decision(f"{prefix}/depth_delta", DEPTH_DELTAS, tags + ("depth",)),
+        Decision(f"{prefix}/width_delta", WIDTH_DELTAS, tags + ("width",)),
+    ]
+
+
+def cnn_search_space(config: CnnSpaceConfig = CnnSpaceConfig()) -> SearchSpace:
+    """Build the convolutional search space of Table 5."""
+    decisions: List[Decision] = []
+    for block in range(config.num_blocks):
+        decisions.extend(block_decisions(block))
+    if config.include_resolution:
+        decisions.append(Decision("resolution", RESOLUTIONS, ("cnn", "resolution")))
+    return SearchSpace("cnn", decisions)

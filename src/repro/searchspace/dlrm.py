@@ -1,0 +1,86 @@
+"""DLRM search space (Table 5, middle) — the paper's first-of-a-kind
+space for RL-based one-shot NAS on recommendation models.
+
+Embedding side: every table gets a *width* decision (7 deltas around
+the baseline width, in increments of 8) and a *vocabulary size*
+decision (50%..200% of baseline in 25% steps — 7 options).  Dense side:
+every MLP stack gets a *depth* decision (7 deltas), a *width* decision
+(10 deltas in increments of 8), and a *low-rank* decision (rank as a
+fraction 1/10..10/10 of layer width — 10 options).
+
+With the defaults — 150 tables (300 embedding decisions of 7 choices)
+and 10 dense stacks of ``7 x 10 x 10`` choices — the cardinality is
+``7^300 * 700^10 ~ O(10^282)``, the figure Table 5 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .base import Decision, SearchSpace
+
+#: Width deltas per embedding table, in units of 8 columns, zero first.
+EMBEDDING_WIDTH_DELTAS: Tuple[int, ...] = (0, -3, -2, -1, 1, 2, 3)
+#: Vocabulary-size scales relative to the baseline table.
+VOCAB_SCALES: Tuple[float, ...] = (1.0, 0.5, 0.75, 1.25, 1.5, 1.75, 2.0)
+#: Depth deltas per dense stack.
+DENSE_DEPTH_DELTAS: Tuple[int, ...] = (0, -3, -2, -1, 1, 2, 3)
+#: Width deltas per dense stack, in units of 8 neurons, zero first.
+DENSE_WIDTH_DELTAS: Tuple[int, ...] = (0, -5, -4, -3, -2, -1, 1, 2, 3, 4)
+#: Low-rank fractions of the layer width (1.0 = full rank, no factorization).
+LOW_RANK_FRACTIONS: Tuple[float, ...] = (1.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class DlrmSpaceConfig:
+    """Shape of a DLRM search space.
+
+    The defaults reproduce Table 5's cardinality arithmetic; searches in
+    tests and examples use much smaller table/stack counts.
+    """
+
+    num_tables: int = 150
+    num_dense_stacks: int = 10
+    search_vocab: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_tables < 1:
+            raise ValueError("num_tables must be >= 1")
+        if self.num_dense_stacks < 1:
+            raise ValueError("num_dense_stacks must be >= 1")
+
+
+def table_decisions(table: int, search_vocab: bool = True) -> List[Decision]:
+    """Width (and optionally vocabulary) decisions of one embedding table."""
+    prefix = f"emb{table}"
+    tags = ("dlrm", "embedding", f"table{table}")
+    decisions = [
+        Decision(f"{prefix}/width_delta", EMBEDDING_WIDTH_DELTAS, tags + ("width",)),
+    ]
+    if search_vocab:
+        decisions.append(
+            Decision(f"{prefix}/vocab_scale", VOCAB_SCALES, tags + ("vocab",))
+        )
+    return decisions
+
+
+def stack_decisions(stack: int) -> List[Decision]:
+    """Depth, width, and low-rank decisions of one dense (MLP) stack."""
+    prefix = f"dense{stack}"
+    tags = ("dlrm", "dense", f"stack{stack}")
+    return [
+        Decision(f"{prefix}/depth_delta", DENSE_DEPTH_DELTAS, tags + ("depth",)),
+        Decision(f"{prefix}/width_delta", DENSE_WIDTH_DELTAS, tags + ("width",)),
+        Decision(f"{prefix}/low_rank", LOW_RANK_FRACTIONS, tags + ("low_rank",)),
+    ]
+
+
+def dlrm_search_space(config: DlrmSpaceConfig = DlrmSpaceConfig()) -> SearchSpace:
+    """Build the DLRM search space of Table 5."""
+    decisions: List[Decision] = []
+    for table in range(config.num_tables):
+        decisions.extend(table_decisions(table, config.search_vocab))
+    for stack in range(config.num_dense_stacks):
+        decisions.extend(stack_decisions(stack))
+    return SearchSpace("dlrm", decisions)

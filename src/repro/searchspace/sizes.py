@@ -1,0 +1,72 @@
+"""Search-space cardinality accounting — regenerates Table 5's size rows.
+
+The paper reports:
+
+* convolutional space: ``(302400)^7 * 8 ~ O(10^39)``
+* DLRM space: ``7^O(300) * (7 x 10 x 10)^O(10) ~ O(10^282)``
+* transformer space: ``(17920)^2 ~ O(10^8)``
+* hybrid ViT space: ``17920^2 * 21 * 302400^2 * 7 ~ O(10^21)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .cnn import CHOICES_PER_BLOCK, CnnSpaceConfig, cnn_search_space
+from .dlrm import DlrmSpaceConfig, dlrm_search_space
+from .vit import (
+    CHOICES_PER_TFM_BLOCK,
+    VitSpaceConfig,
+    hybrid_vit_search_space,
+    vit_search_space,
+)
+
+
+@dataclass(frozen=True)
+class SpaceSizeRow:
+    """One row of the Table 5 size comparison."""
+
+    space: str
+    log10_size: float
+    paper_log10: float
+
+    @property
+    def matches_paper_order(self) -> bool:
+        """True when within one order of magnitude per 40 claimed orders.
+
+        Table 5's own arithmetic is approximate (it uses O() exponents),
+        so we accept a proportional tolerance.
+        """
+        tolerance = max(2.0, 0.05 * self.paper_log10)
+        return abs(self.log10_size - self.paper_log10) <= tolerance
+
+
+#: The paper's stated log10 sizes per search space.
+PAPER_LOG10 = {"cnn": 39.0, "dlrm": 282.0, "vit": 8.0, "hybrid_vit": 21.0}
+
+
+def table5_size_rows() -> Dict[str, SpaceSizeRow]:
+    """Compute all four Table 5 size rows from the implemented spaces."""
+    spaces = {
+        "cnn": cnn_search_space(CnnSpaceConfig(num_blocks=7)),
+        "dlrm": dlrm_search_space(DlrmSpaceConfig(num_tables=150, num_dense_stacks=10)),
+        "vit": vit_search_space(VitSpaceConfig(num_tfm_blocks=2)),
+        "hybrid_vit": hybrid_vit_search_space(),
+    }
+    return {
+        name: SpaceSizeRow(
+            space=name,
+            log10_size=space.log10_size(),
+            paper_log10=PAPER_LOG10[name],
+        )
+        for name, space in spaces.items()
+    }
+
+
+def per_block_cardinalities() -> Dict[str, int]:
+    """The per-block counts Table 5 uses in its size formulas."""
+    return {
+        "cnn_block": CHOICES_PER_BLOCK,  # 302,400 in the paper
+        "tfm_block": CHOICES_PER_TFM_BLOCK,  # 17,920 in the paper
+    }

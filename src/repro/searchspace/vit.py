@@ -1,0 +1,102 @@
+"""Vision-transformer and hybrid search spaces (Table 5, bottom).
+
+The transformer part follows AutoFormer/HAT-style spaces augmented with
+the paper's performance-aware options: funnel-style sequence pooling,
+Primer's depthwise convolution after the attention projection, and the
+squared-ReLU activation H2O-NAS ends up selecting for CoAtNet-H.
+
+Each transformer block carries six decisions — attention hidden size
+(multiples of 64 up to 1024), low-rank fraction, activation, sequence
+pooling, the Primer option, and a depth delta — for ``17,920``
+combinations per block; two blocks give the ``O(10^8)`` pure-transformer
+space.  The hybrid space adds two convolutional blocks (from the CNN
+space), a patch-size decision (7 options), and 21 initial resolutions,
+reaching ``O(10^21)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .base import Decision, SearchSpace
+from .cnn import block_decisions as cnn_block_decisions
+
+#: Attention hidden sizes: multiples of 64 up to 1024 (16 options).
+HIDDEN_SIZES: Tuple[int, ...] = tuple(64 * i for i in range(1, 17))
+#: Low-rank fractions of the attention projections.
+LOW_RANK_FRACTIONS: Tuple[float, ...] = (1.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+#: Activation functions searched in the transformer FFN.
+ACTIVATIONS: Tuple[str, ...] = ("relu", "swish", "gelu", "squared_relu")
+#: With or without funnel-style sequence pooling after the block.
+SEQUENCE_POOLING: Tuple[bool, ...] = (False, True)
+#: With or without Primer's post-projection depthwise convolution.
+PRIMER_DW_CONV: Tuple[bool, ...] = (False, True)
+#: Layer-count deltas per transformer block.
+DEPTH_DELTAS: Tuple[int, ...] = (0, -3, -2, -1, 1, 2, 3)
+#: Patch sizes of the convolutional stem.
+PATCH_SIZES: Tuple[int, ...] = (16, 4, 7, 8, 14, 28, 32)
+#: 21 initial resolutions from 112x112 to 448x448.
+HYBRID_RESOLUTIONS: Tuple[int, ...] = tuple(112 + 16 * i for i in range(21))
+
+#: Per-transformer-block cardinality Table 5 reports (17,920).
+CHOICES_PER_TFM_BLOCK = (
+    len(HIDDEN_SIZES)
+    * len(LOW_RANK_FRACTIONS)
+    * len(ACTIVATIONS)
+    * len(SEQUENCE_POOLING)
+    * len(PRIMER_DW_CONV)
+    * len(DEPTH_DELTAS)
+)
+
+
+@dataclass(frozen=True)
+class VitSpaceConfig:
+    """Shape of a transformer / hybrid search space."""
+
+    num_tfm_blocks: int = 2
+    num_conv_blocks: int = 0  # > 0 builds the hybrid CoAtNet-style space
+    include_stem: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_tfm_blocks < 1:
+            raise ValueError("num_tfm_blocks must be >= 1")
+        if self.num_conv_blocks < 0:
+            raise ValueError("num_conv_blocks must be >= 0")
+
+
+def tfm_block_decisions(block: int) -> List[Decision]:
+    """The six decisions of transformer block ``block``."""
+    prefix = f"tfm{block}"
+    tags = ("vit", f"tfm{block}")
+    return [
+        Decision(f"{prefix}/hidden_size", HIDDEN_SIZES, tags + ("hidden_size",)),
+        Decision(f"{prefix}/low_rank", LOW_RANK_FRACTIONS, tags + ("low_rank",)),
+        Decision(f"{prefix}/activation", ACTIVATIONS, tags + ("activation",)),
+        Decision(f"{prefix}/seq_pooling", SEQUENCE_POOLING, tags + ("seq_pooling",)),
+        Decision(f"{prefix}/primer", PRIMER_DW_CONV, tags + ("primer",)),
+        Decision(f"{prefix}/depth_delta", DEPTH_DELTAS, tags + ("depth",)),
+    ]
+
+
+def vit_search_space(config: VitSpaceConfig = VitSpaceConfig()) -> SearchSpace:
+    """Build the transformer-only or hybrid ViT search space."""
+    decisions: List[Decision] = []
+    for block in range(config.num_tfm_blocks):
+        decisions.extend(tfm_block_decisions(block))
+    for block in range(config.num_conv_blocks):
+        decisions.extend(cnn_block_decisions(block))
+    if config.include_stem:
+        decisions.append(Decision("patch_size", PATCH_SIZES, ("vit", "patch_size")))
+        decisions.append(
+            Decision("resolution", HYBRID_RESOLUTIONS, ("vit", "resolution"))
+        )
+    name = "hybrid_vit" if config.num_conv_blocks else "vit"
+    return SearchSpace(name, decisions)
+
+
+def hybrid_vit_search_space() -> SearchSpace:
+    """Table 5's hybrid space: 2 TFM blocks, 2 conv blocks, stem choices."""
+    return vit_search_space(
+        VitSpaceConfig(num_tfm_blocks=2, num_conv_blocks=2, include_stem=True)
+    )

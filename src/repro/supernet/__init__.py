@@ -1,0 +1,23 @@
+"""Weight-sharing super-networks (Section 5 / Figure 3 of the paper)."""
+
+from .dlrm import DlrmSuperNetwork, DlrmSupernetConfig, WIDTH_INCREMENT
+from .mixture import (
+    MixtureSuperNetwork,
+    MixtureSupernetConfig,
+    mixture_search_space,
+)
+from .transformer import TransformerSuperNetwork, TransformerSupernetConfig
+from .vision import VisionSuperNetwork, VisionSupernetConfig
+
+__all__ = [
+    "DlrmSuperNetwork",
+    "DlrmSupernetConfig",
+    "MixtureSuperNetwork",
+    "MixtureSupernetConfig",
+    "mixture_search_space",
+    "TransformerSuperNetwork",
+    "TransformerSupernetConfig",
+    "VisionSuperNetwork",
+    "VisionSupernetConfig",
+    "WIDTH_INCREMENT",
+]

@@ -1,0 +1,164 @@
+"""Tests for the categorical REINFORCE controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CategoricalPolicy, ReinforceController
+from repro.core.controller import BaselineTracker
+from repro.searchspace import Decision, SearchSpace
+
+
+def small_space():
+    return SearchSpace(
+        "small",
+        [Decision("a", (0, 1, 2)), Decision("b", ("x", "y"))],
+    )
+
+
+class TestCategoricalPolicy:
+    def test_initial_distribution_uniform(self):
+        policy = CategoricalPolicy(small_space())
+        for probs in policy.probabilities():
+            np.testing.assert_allclose(probs, 1.0 / len(probs))
+
+    def test_sample_matches_indices(self):
+        policy = CategoricalPolicy(small_space())
+        arch, indices = policy.sample(np.random.default_rng(0))
+        assert policy.space.indices_of(arch).tolist() == indices.tolist()
+
+    def test_log_prob_of_uniform(self):
+        policy = CategoricalPolicy(small_space())
+        lp = policy.log_prob([0, 0])
+        assert lp == pytest.approx(np.log(1 / 3) + np.log(1 / 2))
+
+    def test_entropy_decreases_after_consistent_updates(self):
+        policy = CategoricalPolicy(small_space())
+        before = policy.entropy()
+        target = np.array([2, 1])
+        for _ in range(50):
+            policy.reinforce_update([(target, 1.0)], learning_rate=0.3)
+        assert policy.entropy() < before
+
+    def test_reinforce_moves_towards_rewarded_choice(self):
+        policy = CategoricalPolicy(small_space())
+        target = np.array([2, 1])
+        for _ in range(100):
+            policy.reinforce_update([(target, 1.0)], learning_rate=0.3)
+        best = policy.most_probable_architecture()
+        assert best["a"] == 2 and best["b"] == "y"
+
+    def test_negative_advantage_pushes_away(self):
+        policy = CategoricalPolicy(small_space())
+        bad = np.array([0, 0])
+        for _ in range(100):
+            policy.reinforce_update([(bad, -1.0)], learning_rate=0.3)
+        probs = policy.probabilities()
+        assert probs[0][0] < 1 / 3
+        assert probs[1][0] < 1 / 2
+
+    def test_update_with_no_samples_is_noop(self):
+        policy = CategoricalPolicy(small_space())
+        before = [logit.copy() for logit in policy.logits]
+        policy.reinforce_update([], learning_rate=0.3)
+        for a, b in zip(before, policy.logits):
+            np.testing.assert_array_equal(a, b)
+
+    def test_cross_shard_update_averages(self):
+        """Two opposite samples with equal advantage cancel on decision b."""
+        policy = CategoricalPolicy(small_space())
+        policy.reinforce_update(
+            [(np.array([0, 0]), 1.0), (np.array([0, 1]), 1.0)],
+            learning_rate=0.5,
+        )
+        probs_b = policy.probabilities()[1]
+        np.testing.assert_allclose(probs_b, [0.5, 0.5])
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_always_normalized(self, seed):
+        policy = CategoricalPolicy(small_space())
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            _, idx = policy.sample(rng)
+            policy.reinforce_update([(idx, float(rng.normal()))], 0.5)
+        for probs in policy.probabilities():
+            assert probs.sum() == pytest.approx(1.0)
+            assert np.all(probs >= 0)
+
+
+class TestBaselineTracker:
+    def test_first_reward_has_full_advantage(self):
+        tracker = BaselineTracker()
+        assert tracker.advantage(0.5) == 0.5
+
+    def test_baseline_tracks_mean(self):
+        tracker = BaselineTracker(momentum=0.0)
+        tracker.update([1.0, 3.0])
+        assert tracker.value == pytest.approx(2.0)
+        assert tracker.advantage(2.5) == pytest.approx(0.5)
+
+    def test_momentum_smoothing(self):
+        tracker = BaselineTracker(momentum=0.5)
+        tracker.update([2.0])
+        tracker.update([4.0])
+        assert tracker.value == pytest.approx(3.0)
+
+    def test_empty_update(self):
+        tracker = BaselineTracker()
+        tracker.update([])
+        assert tracker.value is None
+
+
+class TestReinforceController:
+    def test_learns_a_planted_optimum(self):
+        """Controller converges on the decision combination with max reward."""
+        space = small_space()
+        controller = ReinforceController(space, learning_rate=0.4, seed=0)
+        target = {"a": 1, "b": "x"}
+        for _ in range(150):
+            samples = []
+            for _ in range(4):
+                arch, idx = controller.sample()
+                reward = sum(float(arch[k] == v) for k, v in target.items())
+                samples.append((idx, reward))
+            controller.update(samples)
+        best = controller.best_architecture()
+        assert best["a"] == 1 and best["b"] == "x"
+
+    def test_sample_many(self):
+        controller = ReinforceController(small_space(), seed=1)
+        samples = controller.sample_many(5)
+        assert len(samples) == 5
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            ReinforceController(small_space(), learning_rate=0.0)
+
+    def test_entropy_reported(self):
+        controller = ReinforceController(small_space())
+        assert controller.entropy() == pytest.approx(np.log(3) + np.log(2))
+
+
+class TestWarmStart:
+    def test_resume_continues_from_checkpoint(self):
+        space = small_space()
+        first = ReinforceController(space, learning_rate=0.4, seed=0)
+        target = {"a": 2, "b": "y"}
+        for _ in range(80):
+            samples = []
+            for _ in range(4):
+                arch, idx = first.sample()
+                samples.append((idx, sum(float(arch[k] == v) for k, v in target.items())))
+            first.update(samples)
+        resumed = ReinforceController(space, learning_rate=0.4, seed=1)
+        resumed.warm_start(first.policy)
+        assert resumed.best_architecture() == first.best_architecture()
+        assert resumed.entropy() == pytest.approx(first.entropy())
+
+    def test_wrong_space_rejected(self):
+        other = SearchSpace("other", [Decision("z", (0, 1, 2, 3))])
+        controller = ReinforceController(small_space())
+        with pytest.raises(ValueError, match="different search space"):
+            controller.warm_start(CategoricalPolicy(other))

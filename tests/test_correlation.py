@@ -1,0 +1,78 @@
+"""Tests for proxy-fidelity metrics (Spearman, calibrated error)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import proxy_relative_error, spearman_correlation
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert spearman_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_rank_only(self):
+        """Nonlinear but monotone transforms keep correlation at 1."""
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_correlation(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_correlation([1.0], [2.0])
+        with pytest.raises(ValueError):
+            spearman_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestProxyRelativeError:
+    def test_perfectly_scaled_proxy_has_zero_error(self):
+        truth = np.array([1.0, 2.0, 4.0])
+        report = proxy_relative_error(truth * 1000.0, truth)
+        assert report.mean_relative_error == pytest.approx(0.0, abs=1e-12)
+        assert report.spearman == pytest.approx(1.0)
+
+    def test_calibration_is_optimal_in_log_space(self):
+        """Any other single scale gives equal or worse log-RMS error."""
+        rng = np.random.default_rng(0)
+        truth = rng.uniform(1.0, 10.0, size=50)
+        proxy = truth * np.exp(rng.normal(0, 0.3, size=50))
+        report = proxy_relative_error(proxy, truth)
+        best_scale = np.exp(np.mean(np.log(truth) - np.log(proxy)))
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            other = proxy * best_scale * factor
+            log_rms_best = np.sqrt(np.mean(np.log(proxy * best_scale / truth) ** 2))
+            log_rms_other = np.sqrt(np.mean(np.log(other / truth) ** 2))
+            assert log_rms_best <= log_rms_other + 1e-12
+
+    def test_decoupled_proxy_has_large_error(self):
+        rng = np.random.default_rng(1)
+        truth = rng.uniform(1.0, 10.0, size=100)
+        proxy = rng.uniform(1.0, 10.0, size=100)  # unrelated
+        report = proxy_relative_error(proxy, truth)
+        assert report.mean_relative_error > 0.3
+        assert abs(report.spearman) < 0.5
+
+    def test_max_at_least_mean(self):
+        rng = np.random.default_rng(2)
+        truth = rng.uniform(1.0, 5.0, size=30)
+        proxy = truth * np.exp(rng.normal(0, 0.2, size=30))
+        report = proxy_relative_error(proxy, truth)
+        assert report.max_relative_error >= report.mean_relative_error
+
+    def test_positivity_required(self):
+        with pytest.raises(ValueError):
+            proxy_relative_error([1.0, -1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            proxy_relative_error([1.0, 1.0], [0.0, 2.0])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=3, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariance(self, values):
+        truth = np.asarray(values)
+        proxy = truth.copy()
+        a = proxy_relative_error(proxy, truth)
+        b = proxy_relative_error(proxy * 12345.0, truth)
+        assert a.mean_relative_error == pytest.approx(b.mean_relative_error, abs=1e-9)

@@ -1,0 +1,210 @@
+"""Tests for batches, synthetic teachers, and the data pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Batch,
+    CtrTaskConfig,
+    CtrTeacher,
+    PipelineProtocolError,
+    SingleStepPipeline,
+    TwoStreamPipeline,
+    VisionTaskConfig,
+    VisionTeacher,
+)
+
+
+class TestBatch:
+    def test_size(self):
+        b = Batch(0, {"x": np.ones((4, 2))}, np.zeros(4))
+        assert b.size == 4
+
+    def test_split(self):
+        b = Batch(0, {"x": np.arange(8).reshape(4, 2)}, np.arange(4))
+        first, second = b.split()
+        assert first.size == 2 and second.size == 2
+        np.testing.assert_array_equal(second.labels, [2, 3])
+
+    def test_split_too_small(self):
+        with pytest.raises(ValueError):
+            Batch(0, {"x": np.ones((1, 1))}, np.zeros(1)).split()
+
+
+class TestCtrTeacher:
+    def test_batch_shapes(self):
+        teacher = CtrTeacher(CtrTaskConfig(num_tables=3, batch_size=16))
+        b = teacher.next_batch()
+        assert b.inputs["dense"].shape == (16, 8)
+        assert b.inputs["sparse"].shape == (16, 3)
+        assert b.labels.shape == (16, 1)
+
+    def test_unique_batch_ids(self):
+        teacher = CtrTeacher(CtrTaskConfig())
+        ids = [teacher.next_batch().batch_id for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_labels_binary(self):
+        teacher = CtrTeacher(CtrTaskConfig(batch_size=128))
+        labels = teacher.next_batch().labels
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+    def test_signal_is_learnable(self):
+        """The planted signal is strong enough to beat chance."""
+        cfg = CtrTaskConfig(batch_size=4096, seed=7)
+        teacher = CtrTeacher(cfg)
+        batch = teacher.next_batch()
+        # The memorized logits alone should correlate with labels.
+        memor = np.zeros(cfg.batch_size)
+        for t in range(cfg.num_tables):
+            memor += teacher._table_importance[t] * teacher._id_logits[
+                t, batch.inputs["sparse"][:, t]
+            ]
+        predicted = (memor > 0).astype(float)
+        assert (predicted == batch.labels[:, 0]).mean() > 0.55
+
+    def test_deterministic_given_seed(self):
+        a = CtrTeacher(CtrTaskConfig(seed=3)).next_batch()
+        b = CtrTeacher(CtrTaskConfig(seed=3)).next_batch()
+        np.testing.assert_array_equal(a.inputs["dense"], b.inputs["dense"])
+
+    def test_sparse_ids_in_vocab(self):
+        cfg = CtrTaskConfig(vocab_size=32, batch_size=256)
+        batch = CtrTeacher(cfg).next_batch()
+        assert batch.inputs["sparse"].max() < 32
+        assert batch.inputs["sparse"].min() >= 0
+
+
+class TestVisionTeacher:
+    def test_batch_shapes(self):
+        teacher = VisionTeacher(VisionTaskConfig(batch_size=8))
+        b = teacher.next_batch()
+        assert b.inputs["x"].shape == (8, 16)
+        assert b.labels.shape == (8,)
+
+    def test_labels_in_range(self):
+        cfg = VisionTaskConfig(num_classes=5, batch_size=256)
+        labels = VisionTeacher(cfg).next_batch().labels
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_all_classes_appear(self):
+        cfg = VisionTaskConfig(batch_size=512, seed=1)
+        labels = VisionTeacher(cfg).next_batch().labels
+        assert len(np.unique(labels)) == cfg.num_classes
+
+    def test_noise_level(self):
+        noisy = VisionTaskConfig(label_noise=0.5, batch_size=512, seed=2)
+        clean = VisionTaskConfig(label_noise=0.0, batch_size=512, seed=2)
+        nb = VisionTeacher(noisy).next_batch()
+        cb = VisionTeacher(clean).next_batch()
+        assert (nb.labels != cb.labels).mean() > 0.2
+
+
+class TestSingleStepPipeline:
+    def make(self, max_batches=None):
+        teacher = CtrTeacher(CtrTaskConfig(batch_size=4))
+        return SingleStepPipeline(teacher.next_batch, max_batches=max_batches)
+
+    def test_each_batch_fresh(self):
+        pipe = self.make()
+        ids = {pipe.next_batch().batch_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_policy_then_weights_allowed(self):
+        pipe = self.make()
+        batch = pipe.next_batch()
+        pipe.mark_policy_use(batch)
+        pipe.mark_weight_use(batch)  # no error
+
+    def test_weights_before_policy_rejected(self):
+        pipe = self.make()
+        batch = pipe.next_batch()
+        with pytest.raises(PipelineProtocolError, match="policy-before-weights"):
+            pipe.mark_weight_use(batch)
+
+    def test_double_policy_use_rejected(self):
+        pipe = self.make()
+        batch = pipe.next_batch()
+        pipe.mark_policy_use(batch)
+        with pytest.raises(PipelineProtocolError):
+            pipe.mark_policy_use(batch)
+
+    def test_double_weight_use_rejected(self):
+        pipe = self.make()
+        batch = pipe.next_batch()
+        pipe.mark_policy_use(batch)
+        pipe.mark_weight_use(batch)
+        with pytest.raises(PipelineProtocolError, match="at most once"):
+            pipe.mark_weight_use(batch)
+
+    def test_unknown_batch_rejected(self):
+        pipe = self.make()
+        stranger = Batch(999, {"x": np.ones((2, 1))}, np.zeros(2))
+        with pytest.raises(PipelineProtocolError, match="never issued"):
+            pipe.mark_policy_use(stranger)
+
+    def test_max_batches(self):
+        pipe = self.make(max_batches=3)
+        for _ in range(3):
+            pipe.next_batch()
+        assert pipe.exhausted()
+        with pytest.raises(StopIteration):
+            pipe.next_batch()
+
+    def test_reissued_batch_rejected(self):
+        fixed = Batch(0, {"x": np.ones((2, 1))}, np.zeros(2))
+        pipe = SingleStepPipeline(lambda: fixed)
+        pipe.next_batch()
+        with pytest.raises(PipelineProtocolError, match="re-issued"):
+            pipe.next_batch()
+
+    def test_batches_issued_counter(self):
+        pipe = self.make()
+        for _ in range(4):
+            pipe.next_batch()
+        assert pipe.batches_issued == 4
+
+
+class TestTwoStreamPipeline:
+    def make(self, train=3, valid=2):
+        teacher = CtrTeacher(CtrTaskConfig(batch_size=4))
+        return TwoStreamPipeline(teacher.next_batch, train_batches=train, valid_batches=valid)
+
+    def test_splits_are_disjoint(self):
+        pipe = self.make()
+        train_ids = {pipe.next_train_batch().batch_id for _ in range(3)}
+        valid_ids = {pipe.next_valid_batch().batch_id for _ in range(2)}
+        assert not (train_ids & valid_ids)
+
+    def test_reuse_counted(self):
+        pipe = self.make(train=2, valid=2)
+        for _ in range(5):
+            pipe.next_train_batch()
+        assert pipe.train_reuses == 2
+
+    def test_valid_cycle(self):
+        pipe = self.make(train=2, valid=2)
+        first = pipe.next_valid_batch().batch_id
+        pipe.next_valid_batch()
+        again = pipe.next_valid_batch().batch_id
+        assert first == again
+        assert pipe.valid_reuses == 1
+
+    def test_sizes(self):
+        pipe = self.make(train=4, valid=3)
+        assert pipe.train_size == 4 and pipe.valid_size == 3
+
+    def test_validation(self):
+        teacher = CtrTeacher(CtrTaskConfig())
+        with pytest.raises(ValueError):
+            TwoStreamPipeline(teacher.next_batch, train_batches=0, valid_batches=1)
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_train_cursor_never_escapes_split(self, train, valid, steps):
+        teacher = CtrTeacher(CtrTaskConfig(batch_size=4))
+        pipe = TwoStreamPipeline(teacher.next_batch, train, valid)
+        train_ids = {pipe.next_train_batch().batch_id for _ in range(steps + 1)}
+        assert train_ids <= set(range(train))

@@ -1,0 +1,42 @@
+"""Extra facade and search-config coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core import H2ONas, PerformanceObjective, SearchConfig
+from repro.data import CtrTaskConfig, CtrTeacher
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
+
+
+def build(max_batches=None, reward_kind="relu"):
+    space = dlrm_search_space(DlrmSpaceConfig(num_tables=2, num_dense_stacks=2))
+    teacher = CtrTeacher(CtrTaskConfig(num_tables=2, batch_size=16))
+    return H2ONas(
+        space=space,
+        supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=2)),
+        batch_source=teacher.next_batch,
+        performance_fn=lambda arch: {"step_time": 1.0},
+        objectives=[PerformanceObjective("step_time", 1.0, -0.5)],
+        reward_kind=reward_kind,
+        config=SearchConfig(steps=4, num_cores=2, warmup_steps=1),
+        max_batches=max_batches,
+    )
+
+
+class TestFacadeExtra:
+    def test_absolute_reward_kind(self):
+        nas = build(reward_kind="absolute")
+        assert nas.reward_fn.kind == "absolute"
+        result = nas.search()
+        nas.space.validate(result.final_architecture)
+
+    def test_max_batches_enforced(self):
+        nas = build(max_batches=4)
+        with pytest.raises(StopIteration):
+            nas.search()  # 4 steps x 2 cores = 8 > 4 budget
+
+    def test_pipeline_exposed(self):
+        nas = build()
+        nas.search()
+        assert nas.pipeline.batches_issued == 8

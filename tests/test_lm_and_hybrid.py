@@ -1,0 +1,135 @@
+"""Tests for the LM transformer mode and hybrid ViT graph lowering."""
+
+import numpy as np
+import pytest
+
+from repro.data import LmTaskConfig, LmTeacher
+from repro.hardware import TPU_V4, simulate
+from repro.models import VitBaseline, build_vit_graph
+from repro.nn import Adam
+from repro.searchspace import (
+    VitSpaceConfig,
+    hybrid_vit_search_space,
+    vit_search_space,
+)
+from repro.supernet import TransformerSuperNetwork, TransformerSupernetConfig
+
+
+class TestLmTeacher:
+    def test_shapes(self):
+        teacher = LmTeacher(LmTaskConfig(seq_len=6, batch_size=8))
+        batch = teacher.next_batch()
+        assert batch.inputs["x"].shape == (8, 6, 8)
+        assert batch.labels.shape == (8, 6)
+
+    def test_labels_in_range(self):
+        teacher = LmTeacher(LmTaskConfig(batch_size=128, num_classes=4))
+        labels = teacher.next_batch().labels
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_bigram_dependence(self):
+        """Labels depend on the previous position: shuffling the
+        sequence changes (some) labels under the same teacher."""
+        teacher = LmTeacher(LmTaskConfig(seq_len=8, batch_size=64, label_noise=0.0, seed=3))
+        batch = teacher.next_batch()
+        x = batch.inputs["x"]
+        prev = np.concatenate([np.zeros_like(x[:, :1]), x[:, :-1]], axis=1)
+        mixed = np.maximum(x @ teacher._w_current + prev @ teacher._w_previous, 0.0)
+        recomputed = (mixed @ teacher._w_out).argmax(axis=-1)
+        np.testing.assert_array_equal(recomputed, batch.labels)
+        # Current-token-only model cannot reproduce all labels.
+        solo = np.maximum(x @ teacher._w_current, 0.0)
+        solo_labels = (solo @ teacher._w_out).argmax(axis=-1)
+        assert (solo_labels != batch.labels).mean() > 0.05
+
+
+class TestLmSupernet:
+    def setup_net(self):
+        space = vit_search_space(VitSpaceConfig(num_tfm_blocks=1))
+        net = TransformerSuperNetwork(
+            TransformerSupernetConfig(num_blocks=1, task="lm")
+        )
+        teacher = LmTeacher(LmTaskConfig(batch_size=32))
+        return space, net, teacher
+
+    def test_per_position_logits(self):
+        space, net, teacher = self.setup_net()
+        batch = teacher.next_batch()
+        logits = net(space.default_architecture(), batch.inputs)
+        assert logits.shape == (32, 8, 4)
+
+    def test_loss_and_quality(self):
+        space, net, teacher = self.setup_net()
+        batch = teacher.next_batch()
+        arch = space.default_architecture()
+        assert net.loss(arch, batch.inputs, batch.labels).item() > 0
+        assert 0.0 <= net.quality(arch, batch.inputs, batch.labels) <= 1.0
+
+    def test_training_reduces_loss(self):
+        space, net, teacher = self.setup_net()
+        arch = space.default_architecture().replaced(**{"tfm0/hidden_size": 512})
+        optimizer = Adam(net.parameters(), lr=0.003)
+        losses = []
+        for _ in range(40):
+            batch = teacher.next_batch()
+            optimizer.zero_grad()
+            loss = net.loss(arch, batch.inputs, batch.labels)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_seq_pooling_rejected_in_lm_mode(self):
+        space, net, teacher = self.setup_net()
+        batch = teacher.next_batch()
+        pooled = space.default_architecture().replaced(**{"tfm0/seq_pooling": True})
+        with pytest.raises(ValueError, match="pooling"):
+            net(pooled, batch.inputs)
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            TransformerSupernetConfig(task="translation")
+
+
+class TestHybridLowering:
+    def test_hybrid_archs_include_conv_blocks(self):
+        space = hybrid_vit_search_space()
+        arch = space.default_architecture()
+        graph = build_vit_graph(VitBaseline(), arch, batch=2)
+        assert any(op.name.startswith("conv0") for op in graph.nodes())
+        assert any(op.name.startswith("t0l") for op in graph.nodes())
+
+    def test_conv_stride_reduces_transformer_seq(self):
+        space = hybrid_vit_search_space()
+        base = space.default_architecture().replaced(
+            **{"block0/stride": 1, "block1/stride": 1}
+        )
+        strided = base.replaced(**{"block0/stride": 2, "block1/stride": 2})
+        g_base = build_vit_graph(VitBaseline(), base, batch=2)
+        g_strided = build_vit_graph(VitBaseline(), strided, batch=2)
+        qk_base = g_base.node("t0l0/qk")
+        qk_strided = g_strided.node("t0l0/qk")
+        assert qk_strided.flops < qk_base.flops  # seq^2 shrinks
+
+    def test_pure_vit_space_has_no_conv(self):
+        space = vit_search_space(VitSpaceConfig(num_tfm_blocks=2))
+        graph = build_vit_graph(VitBaseline(), space.default_architecture(), batch=2)
+        assert not any(op.name.startswith("conv") for op in graph.nodes())
+
+    def test_all_hybrid_samples_simulate(self):
+        space = hybrid_vit_search_space()
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            graph = build_vit_graph(VitBaseline(), space.sample(rng), batch=2)
+            time = simulate(graph, TPU_V4).total_time_s
+            assert np.isfinite(time) and time > 0
+
+    def test_fused_conv_blocks_priced_differently(self):
+        space = hybrid_vit_search_space()
+        base = space.default_architecture()
+        fused = base.replaced(
+            **{"block0/type": "fused_mbconv", "block1/type": "fused_mbconv"}
+        )
+        g_base = build_vit_graph(VitBaseline(), base, batch=2)
+        g_fused = build_vit_graph(VitBaseline(), fused, batch=2)
+        assert g_fused.total_flops > g_base.total_flops

@@ -1,0 +1,38 @@
+"""Extra loss-function edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, accuracy, bce_with_logits, binary_accuracy, mse, softmax_cross_entropy
+
+
+class TestLossEdges:
+    def test_bce_extreme_logits_finite(self):
+        logits = Tensor(np.array([[500.0], [-500.0]]))
+        loss = bce_with_logits(logits, np.array([[1.0], [0.0]]))
+        assert np.isfinite(loss.item())
+
+    def test_softmax_ce_large_logits_stable(self):
+        logits = Tensor(np.array([[1000.0, 0.0, -1000.0]]), requires_grad=True)
+        loss = softmax_cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_accuracy_perfect_and_zero(self):
+        logits = Tensor(np.array([[5.0, 0.0], [0.0, 5.0]]))
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_binary_accuracy_threshold_at_zero(self):
+        logits = Tensor(np.array([[0.1], [-0.1]]))
+        assert binary_accuracy(logits, np.array([[1.0], [0.0]])) == 1.0
+
+    def test_mse_zero_for_exact(self):
+        pred = Tensor(np.array([[1.0], [2.0]]))
+        assert mse(pred, np.array([[1.0], [2.0]])).item() == 0.0
+
+    def test_softmax_ce_uniform_is_log_classes(self):
+        logits = Tensor(np.zeros((4, 7)))
+        loss = softmax_cross_entropy(logits, np.arange(4) % 7)
+        assert loss.item() == pytest.approx(np.log(7))

@@ -1,0 +1,276 @@
+"""Tests for layers: masking semantics are the weight-sharing contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Adam,
+    Dense,
+    LowRankDense,
+    MLP,
+    MaskedDense,
+    MaskedEmbedding,
+    SGD,
+    Sequential,
+    Tensor,
+    activation,
+    bce_with_logits,
+    mse,
+    softmax_cross_entropy,
+)
+
+
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, rng())
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_bias_optional(self):
+        layer = Dense(4, 3, rng(), use_bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng())
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            Dense(4, 3, rng(), activation_name="sine")
+
+    def test_trains_toward_target(self):
+        layer = Dense(2, 1, rng(), activation_name="linear")
+        opt = SGD(layer.parameters(), lr=0.1)
+        x = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.0, 0.0]])
+        y = x.sum(axis=1, keepdims=True)
+        losses = []
+        for _ in range(200):
+            opt.zero_grad()
+            loss = mse(layer(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.01 < losses[0] or losses[-1] < losses[0] * 0.1
+
+
+class TestMaskedDense:
+    def test_inactive_outputs_are_zero(self):
+        layer = MaskedDense(8, 6, rng())
+        out = layer(Tensor(np.ones((3, 8))), active_in=4, active_out=2)
+        np.testing.assert_allclose(out.data[:, 2:], 0.0)
+
+    def test_small_width_matches_submatrix(self):
+        layer = MaskedDense(8, 6, rng(), activation_name="linear", use_bias=False)
+        x = np.zeros((2, 8))
+        x[:, :4] = np.random.default_rng(7).normal(size=(2, 4))
+        out = layer(Tensor(x), active_in=4, active_out=3)
+        expected = x[:, :4] @ layer.weight.data[:4, :3]
+        np.testing.assert_allclose(out.data[:, :3], expected)
+
+    def test_gradient_only_on_active_block(self):
+        layer = MaskedDense(8, 6, rng(), activation_name="linear")
+        out = layer(Tensor(np.ones((2, 8))), active_in=4, active_out=2)
+        out.sum().backward()
+        grad = layer.weight.grad
+        assert np.all(grad[4:, :] == 0)
+        assert np.all(grad[:, 2:] == 0)
+        assert np.any(grad[:4, :2] != 0)
+
+    def test_weight_sharing_across_candidates(self):
+        """Two candidate widths must read the same underlying weights."""
+        layer = MaskedDense(8, 6, rng(), activation_name="linear", use_bias=False)
+        x = np.zeros((1, 8))
+        x[:, :2] = 1.0
+        narrow = layer(Tensor(x), active_in=2, active_out=2)
+        wide = layer(Tensor(x), active_in=2, active_out=6)
+        np.testing.assert_allclose(narrow.data[:, :2], wide.data[:, :2])
+
+    def test_active_bounds_validated(self):
+        layer = MaskedDense(8, 6, rng())
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((1, 8))), active_in=9)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((1, 8))), active_out=0)
+
+    @given(st.integers(1, 8), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_any_active_width_is_valid(self, ain, aout):
+        layer = MaskedDense(8, 6, rng(), activation_name="linear")
+        out = layer(Tensor(np.ones((2, 8))), active_in=ain, active_out=aout)
+        assert out.shape == (2, 6)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data[:, aout:], 0.0)
+
+
+class TestLowRankDense:
+    def test_rank_masking_shrinks_capacity(self):
+        layer = LowRankDense(6, 6, 4, rng(), activation_name="linear")
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 6)))
+        full = layer(x, active_rank=4)
+        rank1 = layer(x, active_rank=1)
+        assert not np.allclose(full.data, rank1.data)
+
+    def test_rank_one_matches_outer_product(self):
+        layer = LowRankDense(4, 3, 2, rng(), activation_name="linear")
+        layer.bias.data[:] = 0.0
+        x = np.random.default_rng(5).normal(size=(2, 4))
+        out = layer(Tensor(x), active_rank=1)
+        expected = (x @ layer.factor_u.data[:, :1]) @ layer.factor_v.data[:1, :]
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_invalid_rank(self):
+        layer = LowRankDense(4, 3, 2, rng())
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((1, 4))), active_rank=3)
+
+    def test_gradient_respects_rank_mask(self):
+        layer = LowRankDense(4, 3, 2, rng(), activation_name="linear")
+        out = layer(Tensor(np.ones((2, 4))), active_rank=1)
+        out.sum().backward()
+        assert np.all(layer.factor_u.grad[:, 1:] == 0)
+        assert np.all(layer.factor_v.grad[1:, :] == 0)
+
+
+class TestMaskedEmbedding:
+    def test_lookup_shape(self):
+        emb = MaskedEmbedding(10, 6, rng())
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_width_masking(self):
+        emb = MaskedEmbedding(10, 6, rng())
+        out = emb(np.array([0, 1]), active_width=3)
+        np.testing.assert_allclose(out.data[:, 3:], 0.0)
+        np.testing.assert_allclose(out.data[:, :3], emb.table.data[[0, 1], :3])
+
+    def test_shared_prefix_across_widths(self):
+        emb = MaskedEmbedding(10, 6, rng())
+        narrow = emb(np.array([5]), active_width=2)
+        wide = emb(np.array([5]), active_width=6)
+        np.testing.assert_allclose(narrow.data[:, :2], wide.data[:, :2])
+
+    def test_out_of_range_indices_wrap(self):
+        emb = MaskedEmbedding(4, 3, rng())
+        out = emb(np.array([7]))  # 7 % 4 == 3
+        np.testing.assert_allclose(out.data[0], emb.table.data[3])
+
+    def test_gradient_hits_only_looked_up_rows(self):
+        emb = MaskedEmbedding(10, 4, rng())
+        out = emb(np.array([2, 2, 7]), active_width=2)
+        out.sum().backward()
+        grad = emb.table.grad
+        assert np.all(grad[[0, 1, 3, 4, 5, 6, 8, 9]] == 0)
+        assert np.all(grad[:, 2:] == 0)
+        np.testing.assert_allclose(grad[2, :2], 2.0)
+
+    def test_invalid_width(self):
+        emb = MaskedEmbedding(4, 3, rng())
+        with pytest.raises(ValueError):
+            emb(np.array([0]), active_width=4)
+
+
+class TestMLPAndSequential:
+    def test_mlp_shapes(self):
+        net = MLP(5, [16, 8], 2, rng())
+        out = net(Tensor(np.ones((3, 5))))
+        assert out.shape == (3, 2)
+
+    def test_sequential_composition(self):
+        net = Sequential([Dense(4, 8, rng()), Dense(8, 2, rng())])
+        assert net(Tensor(np.ones((2, 4)))).shape == (2, 2)
+
+    def test_parameter_collection_dedupes(self):
+        net = MLP(3, [4], 1, rng())
+        params = net.parameters()
+        assert len(params) == 4  # two layers x (weight, bias)
+        assert len({id(p) for p in params}) == len(params)
+
+    def test_num_parameters(self):
+        net = MLP(3, [4], 1, rng())
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 1 + 1
+
+    def test_mlp_fits_nonlinear_function(self):
+        gen = np.random.default_rng(0)
+        x = gen.uniform(-1, 1, size=(256, 2))
+        y = (np.sin(3 * x[:, 0]) * x[:, 1]).reshape(-1, 1)
+        net = MLP(2, [32, 32], 1, rng())
+        opt = Adam(net.parameters(), lr=0.01)
+        first = None
+        for step in range(300):
+            opt.zero_grad()
+            loss = mse(net(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first * 0.2
+
+
+class TestLosses:
+    def test_bce_perfect_prediction_small(self):
+        logits = Tensor(np.array([[10.0], [-10.0]]))
+        loss = bce_with_logits(logits, np.array([[1.0], [0.0]]))
+        assert loss.item() < 0.01
+
+    def test_bce_wrong_prediction_large(self):
+        logits = Tensor(np.array([[10.0], [-10.0]]))
+        loss = bce_with_logits(logits, np.array([[0.0], [1.0]]))
+        assert loss.item() > 2.0
+
+    def test_softmax_ce_matches_manual(self):
+        logits_val = np.array([[2.0, 1.0, 0.1]])
+        labels = np.array([0])
+        loss = softmax_cross_entropy(Tensor(logits_val), labels)
+        probs = np.exp(logits_val) / np.exp(logits_val).sum()
+        np.testing.assert_allclose(loss.item(), -np.log(probs[0, 0]), rtol=1e-6)
+
+    def test_softmax_ce_gradient_direction(self):
+        logits = Tensor(np.array([[0.0, 0.0]]), requires_grad=True)
+        softmax_cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 0] > 0  # wrong class pushed down
+        assert logits.grad[0, 1] < 0  # right class pushed up
+
+    def test_activation_lookup(self):
+        assert activation("relu")(Tensor(np.array([-1.0, 2.0]))).data.tolist() == [0.0, 2.0]
+
+
+class TestOptimizers:
+    def test_sgd_momentum_accelerates(self):
+        w_plain = Tensor(np.array([10.0]), requires_grad=True)
+        w_mom = Tensor(np.array([10.0]), requires_grad=True)
+        plain = SGD([w_plain], lr=0.01)
+        mom = SGD([w_mom], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for w, opt in [(w_plain, plain), (w_mom, mom)]:
+                opt.zero_grad()
+                (w * w).sum().backward()
+                opt.step()
+        assert abs(w_mom.item()) < abs(w_plain.item())
+
+    def test_adam_converges_on_quadratic(self):
+        w = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            (w * w).sum().backward()
+            opt.step()
+        assert np.all(np.abs(w.data) < 0.05)
+
+    def test_clip_gradients(self):
+        w = Tensor(np.array([1000.0]), requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        (w * w).sum().backward()
+        norm = opt.clip_gradients(1.0)
+        assert norm == pytest.approx(2000.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+    def test_lr_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)

@@ -1,0 +1,123 @@
+"""Tests for the quality surrogates (calibrated to Table 3 anchors)."""
+
+import dataclasses
+
+import pytest
+
+from repro.models import COATNET, COATNET_H, EFFICIENTNET_X, baseline_production_dlrm, dlrm_h
+from repro.quality import (
+    DlrmQualityModel,
+    activation_bonus,
+    capacity_quality,
+    coatnet_quality,
+    efficientnet_quality,
+)
+
+
+class TestCapacityQuality:
+    def test_monotone_in_params(self):
+        assert capacity_quality(1e8) > capacity_quality(1e7)
+
+    def test_dataset_scaling(self):
+        p = 3e8
+        assert (
+            capacity_quality(p, "large")
+            > capacity_quality(p, "medium")
+            > capacity_quality(p, "small")
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            capacity_quality(0.0)
+        with pytest.raises(ValueError):
+            capacity_quality(1e8, "jft3b")
+
+    def test_activation_bonus_unknown(self):
+        with pytest.raises(ValueError):
+            activation_bonus("mish")
+
+
+class TestCoatnetQuality:
+    def test_table3_row1_baseline(self):
+        assert coatnet_quality(COATNET["5"]) == pytest.approx(89.7, abs=0.1)
+
+    def test_table3_row2_deeper_conv(self):
+        cfg = COATNET["5"].with_deeper_conv(4)
+        assert coatnet_quality(cfg) == pytest.approx(90.3, abs=0.1)
+
+    def test_table3_row3_res_shrink(self):
+        cfg = COATNET["5"].with_deeper_conv(4).with_resolution(160)
+        assert coatnet_quality(cfg) == pytest.approx(88.9, abs=0.1)
+
+    def test_table3_row4_squared_relu(self):
+        assert coatnet_quality(COATNET_H["5"]) == pytest.approx(89.7, abs=0.1)
+
+    def test_h_family_neutral_quality(self):
+        """The paper's headline: H models are faster at neutral quality."""
+        for idx in COATNET:
+            delta = coatnet_quality(COATNET_H[idx]) - coatnet_quality(COATNET[idx])
+            assert abs(delta) < 0.5
+
+    def test_family_ordering(self):
+        qualities = [coatnet_quality(COATNET[str(i)]) for i in range(6)]
+        assert all(a < b for a, b in zip(qualities, qualities[1:]))
+
+    def test_never_exceeds_dataset_ceiling(self):
+        huge = dataclasses.replace(
+            COATNET["5"], conv_depths=(2, 60), resolution=448
+        )
+        assert coatnet_quality(huge) <= 92.0
+
+
+class TestEfficientnetQuality:
+    def test_family_ordering(self):
+        qualities = [
+            efficientnet_quality(EFFICIENTNET_X[f"b{i}"]) for i in range(8)
+        ]
+        assert all(a < b for a, b in zip(qualities, qualities[1:]))
+
+    def test_b0_range(self):
+        q = efficientnet_quality(EFFICIENTNET_X["b0"])
+        assert 70 < q < 85
+
+
+class TestDlrmQuality:
+    def test_baseline_anchor(self):
+        base = baseline_production_dlrm()
+        model = DlrmQualityModel(base)
+        assert model.quality(base) == pytest.approx(80.0)
+
+    def test_dlrm_h_gains_paper_delta(self):
+        """Figure 8's caption: DLRM-H gains +0.02% quality."""
+        base = baseline_production_dlrm()
+        model = DlrmQualityModel(base)
+        delta = model.quality(dlrm_h(base)) - model.quality(base)
+        assert delta == pytest.approx(0.02, abs=0.01)
+
+    def test_more_embedding_capacity_helps(self):
+        base = baseline_production_dlrm()
+        model = DlrmQualityModel(base)
+        bigger = dataclasses.replace(
+            base,
+            tables=tuple(
+                dataclasses.replace(t, width=t.width * 2) for t in base.tables
+            ),
+        )
+        assert model.quality(bigger) > model.quality(base)
+
+    def test_low_rank_discounts_generalization(self):
+        base = baseline_production_dlrm()
+        model = DlrmQualityModel(base)
+        factored = dataclasses.replace(
+            base, top=dataclasses.replace(base.top, low_rank=0.2)
+        )
+        assert model.quality(factored) < model.quality(base)
+
+    def test_low_rank_above_half_is_free(self):
+        """Ranks >= width/2 retain full effective capacity."""
+        base = baseline_production_dlrm()
+        model = DlrmQualityModel(base)
+        mild = dataclasses.replace(
+            base, top=dataclasses.replace(base.top, low_rank=0.6)
+        )
+        assert model.quality(mild) == pytest.approx(model.quality(base))

@@ -1,0 +1,110 @@
+"""Tests for policy and performance-model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalPolicy,
+    ReinforceController,
+    load_performance_model,
+    load_policy,
+    policy_from_dict,
+    policy_to_dict,
+    save_performance_model,
+    save_policy,
+)
+from repro.perfmodel import ArchitectureEncoder, PerformanceModel
+from repro.searchspace import Decision, SearchSpace
+
+
+def small_space(name="s"):
+    return SearchSpace(name, [Decision("a", (0, 1, 2)), Decision("b", ("x", "y"))])
+
+
+def trained_policy():
+    controller = ReinforceController(small_space(), learning_rate=0.4, seed=0)
+    for _ in range(30):
+        samples = []
+        for _ in range(4):
+            arch, idx = controller.sample()
+            samples.append((idx, float(arch["a"] == 2)))
+        controller.update(samples)
+    return controller.policy
+
+
+class TestPolicySerialization:
+    def test_roundtrip_preserves_logits(self, tmp_path):
+        policy = trained_policy()
+        path = tmp_path / "policy.json"
+        save_policy(policy, path)
+        restored = load_policy(small_space(), path)
+        for original, loaded in zip(policy.logits, restored.logits):
+            np.testing.assert_allclose(original, loaded)
+
+    def test_roundtrip_preserves_argmax(self, tmp_path):
+        policy = trained_policy()
+        path = tmp_path / "policy.json"
+        save_policy(policy, path)
+        restored = load_policy(small_space(), path)
+        assert restored.most_probable_architecture() == policy.most_probable_architecture()
+
+    def test_space_mismatch_rejected(self):
+        payload = policy_to_dict(trained_policy())
+        with pytest.raises(ValueError, match="saved for space"):
+            policy_from_dict(small_space(name="other"), payload)
+
+    def test_missing_decision_rejected(self):
+        payload = policy_to_dict(trained_policy())
+        del payload["decisions"]["a"]
+        with pytest.raises(ValueError, match="missing decision"):
+            policy_from_dict(small_space(), payload)
+
+    def test_wrong_shape_rejected(self):
+        payload = policy_to_dict(trained_policy())
+        payload["decisions"]["a"] = [0.0, 1.0]  # should be 3 logits
+        with pytest.raises(ValueError, match="logits"):
+            policy_from_dict(small_space(), payload)
+
+    def test_bad_version_rejected(self):
+        payload = policy_to_dict(trained_policy())
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            policy_from_dict(small_space(), payload)
+
+
+class TestPerformanceModelSerialization:
+    def make_model(self, seed=0):
+        encoder = ArchitectureEncoder(small_space())
+        return PerformanceModel(encoder, hidden_sizes=(8,), seed=seed)
+
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        model = self.make_model(seed=1)
+        model.set_normalization(np.array([-3.0, -4.0]), np.array([0.5, 0.7]))
+        path = tmp_path / "perf.npz"
+        save_performance_model(model, path)
+        fresh = self.make_model(seed=99)  # different init
+        load_performance_model(fresh, path)
+        space = small_space()
+        arch = space.default_architecture()
+        np.testing.assert_allclose(
+            fresh.predict_log_times([arch]), model.predict_log_times([arch])
+        )
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        model = self.make_model()
+        path = tmp_path / "perf.npz"
+        save_performance_model(model, path)
+        encoder = ArchitectureEncoder(small_space())
+        bigger = PerformanceModel(encoder, hidden_sizes=(16,), seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            load_performance_model(bigger, path)
+
+    def test_normalization_restored(self, tmp_path):
+        model = self.make_model()
+        model.set_normalization(np.array([-5.0, -6.0]), np.array([0.3, 0.4]))
+        path = tmp_path / "perf.npz"
+        save_performance_model(model, path)
+        fresh = self.make_model(seed=2)
+        load_performance_model(fresh, path)
+        np.testing.assert_allclose(fresh.log_mean, [-5.0, -6.0])
+        np.testing.assert_allclose(fresh.log_std, [0.3, 0.4])

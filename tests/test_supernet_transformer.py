@@ -1,0 +1,205 @@
+"""Tests for the transformer proxy super-network (ViT space)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SequenceTaskConfig, SequenceTeacher
+from repro.nn import Adam, Tensor
+from repro.searchspace import VitSpaceConfig, vit_search_space
+from repro.supernet import TransformerSuperNetwork, TransformerSupernetConfig
+from repro.supernet.transformer import _slice_last, _slice_seq
+
+
+def setup(num_blocks=1, seq_len=8):
+    space = vit_search_space(VitSpaceConfig(num_tfm_blocks=num_blocks))
+    net = TransformerSuperNetwork(TransformerSupernetConfig(num_blocks=num_blocks))
+    teacher = SequenceTeacher(SequenceTaskConfig(seq_len=seq_len, batch_size=32))
+    return space, net, teacher
+
+
+class TestSequenceTeacher:
+    def test_shapes(self):
+        teacher = SequenceTeacher(SequenceTaskConfig(seq_len=6, batch_size=8))
+        batch = teacher.next_batch()
+        assert batch.inputs["x"].shape == (8, 6, 8)
+        assert batch.labels.shape == (8,)
+
+    def test_labels_cover_classes(self):
+        teacher = SequenceTeacher(SequenceTaskConfig(batch_size=512, seed=2))
+        labels = teacher.next_batch().labels
+        assert len(np.unique(labels)) == 4
+
+    def test_deterministic(self):
+        a = SequenceTeacher(SequenceTaskConfig(seed=5)).next_batch()
+        b = SequenceTeacher(SequenceTaskConfig(seed=5)).next_batch()
+        np.testing.assert_array_equal(a.inputs["x"], b.inputs["x"])
+
+
+class TestSliceHelpers:
+    def test_slice_last_selects_block(self):
+        x = Tensor(np.arange(12, dtype=np.float64).reshape(1, 2, 6), requires_grad=True)
+        out = _slice_last(x, 2, 4, active=2)
+        np.testing.assert_allclose(out.data, x.data[:, :, 2:4])
+        out.sum().backward()
+        expected = np.zeros((1, 2, 6))
+        expected[:, :, 2:4] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_slice_last_masks_inactive(self):
+        x = Tensor(np.ones((1, 2, 6)))
+        out = _slice_last(x, 0, 3, active=2)
+        np.testing.assert_allclose(out.data[:, :, 2], 0.0)
+
+    def test_slice_seq(self):
+        x = Tensor(np.arange(24, dtype=np.float64).reshape(1, 4, 6))
+        out = _slice_seq(x, 2)
+        assert out.shape == (1, 2, 6)
+        np.testing.assert_allclose(out.data, x.data[:, :2, :])
+
+    def test_slice_seq_noop(self):
+        x = Tensor(np.ones((1, 4, 6)))
+        assert _slice_seq(x, 4) is x
+
+
+class TestTransformerSupernet:
+    def test_forward_shape(self):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        logits = net(space.default_architecture(), batch.inputs)
+        assert logits.shape == (32, 4)
+
+    def test_any_sampled_arch_runs(self):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            logits = net(space.sample(rng), batch.inputs)
+            assert np.all(np.isfinite(logits.data))
+
+    def test_seq_pooling_halves_sequence_effect(self):
+        # Pooling after the FIRST of two blocks changes what the second
+        # block attends over.  (After the last block it feeds a global
+        # mean pool, where halving by pair-averaging is a no-op.)
+        space, net, teacher = setup(num_blocks=2)
+        batch = teacher.next_batch()
+        base = space.default_architecture()
+        pooled = base.replaced(**{"tfm0/seq_pooling": True})
+        assert not np.allclose(
+            net(base, batch.inputs).data, net(pooled, batch.inputs).data
+        )
+
+    def test_odd_sequence_pooling(self):
+        space, net, _ = setup(seq_len=7)
+        teacher = SequenceTeacher(SequenceTaskConfig(seq_len=7, batch_size=4))
+        batch = teacher.next_batch()
+        arch = space.default_architecture().replaced(**{"tfm0/seq_pooling": True})
+        logits = net(arch, batch.inputs)
+        assert np.all(np.isfinite(logits.data))
+
+    def test_hidden_size_changes_output(self):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        small = space.default_architecture().replaced(**{"tfm0/hidden_size": 64})
+        large = space.default_architecture().replaced(**{"tfm0/hidden_size": 1024})
+        assert not np.allclose(
+            net(small, batch.inputs).data, net(large, batch.inputs).data
+        )
+
+    def test_low_rank_changes_output(self):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        base = space.default_architecture().replaced(**{"tfm0/hidden_size": 512})
+        factored = base.replaced(**{"tfm0/low_rank": 0.2})
+        assert not np.allclose(
+            net(base, batch.inputs).data, net(factored, batch.inputs).data
+        )
+
+    def test_primer_adds_gate(self):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        base = space.default_architecture()
+        primed = base.replaced(**{"tfm0/primer": True})
+        assert not np.allclose(
+            net(base, batch.inputs).data, net(primed, batch.inputs).data
+        )
+
+    def test_squared_relu_activation_supported(self):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        arch = space.default_architecture().replaced(**{"tfm0/activation": "squared_relu"})
+        assert np.all(np.isfinite(net(arch, batch.inputs).data))
+
+    def test_training_reduces_loss(self):
+        space, net, teacher = setup()
+        arch = space.default_architecture().replaced(**{"tfm0/hidden_size": 512})
+        optimizer = Adam(net.parameters(), lr=0.003)
+        losses = []
+        for _ in range(40):
+            batch = teacher.next_batch()
+            optimizer.zero_grad()
+            loss = net.loss(arch, batch.inputs, batch.labels)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_quality_bounds(self):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        q = net.quality(space.default_architecture(), batch.inputs, batch.labels)
+        assert 0.0 <= q <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransformerSupernetConfig(width_divisor=0)
+        with pytest.raises(ValueError):
+            TransformerSupernetConfig(base_depth=0)
+
+    def test_proxy_width_mapping(self):
+        cfg = TransformerSupernetConfig(width_divisor=8)
+        assert cfg.proxy_width(64) == 8
+        assert cfg.proxy_width(1024) == 128
+        assert cfg.max_width == 128
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_forward_finite_for_random_arch(self, seed):
+        space, net, teacher = setup()
+        batch = teacher.next_batch()
+        arch = space.sample(np.random.default_rng(seed))
+        assert np.all(np.isfinite(net(arch, batch.inputs).data))
+
+
+class TestTensorSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 5)))
+        probs = x.softmax(axis=-1)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        val = rng.normal(size=(2, 4))
+        x = Tensor(val.copy(), requires_grad=True)
+        (x.softmax(axis=-1) * Tensor(np.arange(8.0).reshape(2, 4))).sum().backward()
+
+        def fn(arr):
+            e = np.exp(arr - arr.max(axis=-1, keepdims=True))
+            probs = e / e.sum(axis=-1, keepdims=True)
+            return float((probs * np.arange(8.0).reshape(2, 4)).sum())
+
+        eps = 1e-6
+        numeric = np.zeros_like(val)
+        for i in range(val.shape[0]):
+            for j in range(val.shape[1]):
+                up, down = val.copy(), val.copy()
+                up[i, j] += eps
+                down[i, j] -= eps
+                numeric[i, j] = (fn(up) - fn(down)) / (2 * eps)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_invariant_to_shift(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        shifted = Tensor(np.array([[101.0, 102.0, 103.0]]))
+        np.testing.assert_allclose(x.softmax().data, shifted.softmax().data)
