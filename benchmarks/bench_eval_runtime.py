@@ -1,0 +1,126 @@
+"""Evaluation-runtime benchmark: memoized candidate pricing.
+
+Late in a single-step search the policy has converged, so most of the
+``num_cores`` candidates sampled each step repeat architectures the
+search has already priced.  Re-running the analytical timing simulator
+for each repeat is pure waste — the metrics are deterministic in the
+decision indices.  The :class:`~repro.core.EvalRuntime` memoizes
+pricing by canonical index key; this benchmark measures the resulting
+candidate-pricing throughput (candidates priced per second of
+price-stage wall time) on a converged-policy workload and asserts the
+cache delivers at least a 2x improvement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    SearchConfig,
+    SingleStepSearch,
+    SurrogateSuperNetwork,
+    relu_reward,
+    PerformanceObjective,
+)
+from repro.data import NullSource, SingleStepPipeline
+from repro.models import baseline_production_dlrm
+from repro.models.timing import DlrmTimingHarness
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+
+from .common import emit
+
+pytestmark = pytest.mark.slow
+
+NUM_TABLES = 3
+STEPS = 60
+CORES = 8
+CONVERGED_LOGIT = 7.0  # sharply peaks every decision, as late in a search
+
+
+def build_search(use_cache):
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2)
+    )
+    harness = DlrmTimingHarness(baseline_production_dlrm(num_tables=NUM_TABLES), seed=0)
+
+    def performance_fn(arch):
+        train_time, serve_time = harness.simulate(arch)
+        return {"train_step_time": train_time, "serving_latency": serve_time}
+
+    base_time = performance_fn(space.default_architecture())["train_step_time"]
+    search = SingleStepSearch(
+        space=space,
+        supernet=SurrogateSuperNetwork(lambda arch: 0.5, seed=0),
+        pipeline=SingleStepPipeline(NullSource().next_batch),
+        reward_fn=relu_reward(
+            [PerformanceObjective("train_step_time", base_time, beta=-3.0)]
+        ),
+        performance_fn=performance_fn,
+        config=SearchConfig(
+            steps=STEPS,
+            num_cores=CORES,
+            warmup_steps=0,
+            policy_lr=1e-6,  # hold the converged policy in place
+            record_candidates=False,
+            seed=0,
+            use_cache=use_cache,
+        ),
+    )
+    # Emulate a converged policy: concentrate every decision.
+    for logit in search.controller.policy.logits:
+        logit[0] = CONVERGED_LOGIT
+    return search
+
+
+def price_throughput(stats):
+    priced = stats.cache_hits + stats.cache_misses if stats.cache_enabled else stats.evaluations
+    return priced / max(stats.stage_seconds["price"], 1e-12)
+
+
+def run():
+    cached = build_search(use_cache=True).run().eval_stats
+    uncached = build_search(use_cache=False).run().eval_stats
+    speedup = price_throughput(cached) / price_throughput(uncached)
+    rows = [
+        [
+            "cache on",
+            f"{price_throughput(cached):.0f}",
+            f"{cached.stage_seconds['price'] * 1e3:.1f}",
+            cached.evaluations,
+            f"{cached.hit_rate:.1%}",
+        ],
+        [
+            "cache off",
+            f"{price_throughput(uncached):.0f}",
+            f"{uncached.stage_seconds['price'] * 1e3:.1f}",
+            uncached.evaluations,
+            "-",
+        ],
+    ]
+    table = format_table(
+        ["runtime", "candidates/s (price)", "price ms", "simulator calls", "hit rate"],
+        rows,
+    )
+    table += f"\n\nprice-stage throughput speedup: {speedup:.1f}x"
+    table += "\n\nper-stage wall time, cache on (ms):\n" + format_table(
+        ["stage", "ms", "calls"],
+        [
+            [stage, f"{cached.stage_seconds[stage] * 1e3:.1f}", cached.stage_calls[stage]]
+            for stage in cached.stage_seconds
+        ],
+    )
+    emit("eval_runtime", table)
+    return cached, uncached, speedup
+
+
+def test_eval_runtime_cache(benchmark):
+    cached, uncached, speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Both runs priced the same candidate stream.
+    assert cached.cache_hits + cached.cache_misses == STEPS * CORES
+    assert uncached.evaluations == STEPS * CORES
+    # A converged policy repeats candidates, so most pricings hit.
+    assert cached.hit_rate > 0.5
+    assert cached.evaluations < uncached.evaluations
+    # Acceptance criterion: >= 2x candidate-pricing throughput.
+    assert speedup >= 2.0, f"cache speedup only {speedup:.2f}x"

@@ -116,11 +116,15 @@ def cmd_search(args: argparse.Namespace) -> str:
         performance_fn=step_time,
         objectives=[PerformanceObjective("step_time", 1.0, beta=-0.5)],
         config=SearchConfig(
-            steps=args.steps, num_cores=4, warmup_steps=10, seed=args.seed
+            steps=args.steps, num_cores=4, warmup_steps=10, seed=args.seed,
+            use_cache=args.cache,
         ),
     )
     result = nas.search()
-    return format_report(space, result)
+    out = format_report(space, result)
+    if result.eval_stats is not None:
+        out += f"\neval runtime: {result.eval_stats.summary()}"
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
     search = sub.add_parser("search", help="small end-to-end DLRM search")
     search.add_argument("--steps", type=int, default=60)
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoize candidate pricing by decision indices (--no-cache to disable)",
+    )
     search.set_defaults(handler=cmd_search)
     return parser
 

@@ -2,6 +2,13 @@
 
 from .controller import BaselineTracker, CategoricalPolicy, ReinforceController
 from .cost import NasCostModel
+from .eval_runtime import (
+    ArchMetricsCache,
+    EvalRuntime,
+    EvalRuntimeStats,
+    MemoizedEvaluate,
+    arch_key,
+)
 from .multitrial import (
     EvolutionConfig,
     EvolutionarySearch,
@@ -42,9 +49,14 @@ from .search import (
 )
 
 __all__ = [
+    "ArchMetricsCache",
     "BaselineTracker",
     "CandidateRecord",
     "CategoricalPolicy",
+    "EvalRuntime",
+    "EvalRuntimeStats",
+    "MemoizedEvaluate",
+    "arch_key",
     "EvolutionConfig",
     "EvolutionarySearch",
     "MultiTrialResult",

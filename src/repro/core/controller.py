@@ -40,14 +40,32 @@ class CategoricalPolicy:
 
     def sample(self, rng: np.random.Generator) -> Tuple[Architecture, np.ndarray]:
         """Draw an architecture; returns it with its index vector."""
-        indices = np.array(
-            [
-                rng.choice(len(probs), p=probs)
-                for probs in self.probabilities()
-            ],
-            dtype=np.int64,
-        )
-        return self.space.architecture_from_indices(indices), indices
+        return self.sample_batch(rng, 1)[0]
+
+    def sample_batch(
+        self, rng: np.random.Generator, count: int
+    ) -> List[Tuple[Architecture, np.ndarray]]:
+        """Draw ``count`` independent architectures in one vectorized step.
+
+        Consumes the generator stream exactly like ``count`` sequential
+        :meth:`sample` calls (one uniform per decision, row-major), so a
+        batched search step reproduces the per-core Python loop draw for
+        draw given the same seed — only without ``count x decisions``
+        round-trips through ``rng.choice``.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        probs = self.probabilities()
+        uniforms = rng.random((count, len(probs)))
+        columns = []
+        for d, p in enumerate(probs):
+            cdf = np.cumsum(p)
+            cdf /= cdf[-1]
+            columns.append(np.searchsorted(cdf, uniforms[:, d], side="right"))
+        index_matrix = np.stack(columns, axis=1).astype(np.int64)
+        return [
+            (self.space.architecture_from_indices(row), row) for row in index_matrix
+        ]
 
     def log_prob(self, indices: Sequence[int]) -> float:
         """Log-probability of the architecture encoded by ``indices``."""
@@ -85,7 +103,13 @@ class CategoricalPolicy:
 
         ``entropy_coef`` adds an entropy bonus to the maximized
         objective, preventing premature convergence when constraint
-        penalties dominate the early reward signal.
+        penalties dominate the early reward signal.  Both terms are
+        computed from one probability snapshot (taken before any logit
+        moves) and applied as a single combined step with consistent
+        scaling: the shard mean of the per-sample REINFORCE gradients
+        plus ``entropy_coef`` times the entropy gradient, all times the
+        learning rate.  The entropy bonus is therefore invariant to the
+        shard size, exactly like the averaged REINFORCE term.
         """
         if not samples:
             return
@@ -96,15 +120,14 @@ class CategoricalPolicy:
                 onehot = np.zeros_like(grads[d])
                 onehot[int(idx)] = 1.0
                 grads[d] += advantage * (onehot - probs[d])
-        scale = learning_rate / len(samples)
         for d, (logit, grad) in enumerate(zip(self.logits, grads)):
-            logit += scale * grad
+            update = (learning_rate / len(samples)) * grad
             if entropy_coef > 0:
                 p = probs[d]
-                entropy = float(-(p * np.log(p + 1e-12)).sum())
-                logit += learning_rate * entropy_coef * (
-                    -p * (np.log(p + 1e-12) + entropy)
-                )
+                log_p = np.log(p + 1e-12)
+                entropy = float(-(p * log_p).sum())
+                update += learning_rate * entropy_coef * (-p * (log_p + entropy))
+            logit += update
 
 
 @dataclass
@@ -153,8 +176,8 @@ class ReinforceController:
         return self.policy.sample(self._rng)
 
     def sample_many(self, count: int) -> List[Tuple[Architecture, np.ndarray]]:
-        """Independent samples, one per parallel core."""
-        return [self.sample() for _ in range(count)]
+        """Independent samples, one per parallel core (vectorized draw)."""
+        return self.policy.sample_batch(self._rng, count)
 
     def update(self, samples: Sequence[Tuple[np.ndarray, float]]) -> None:
         """REINFORCE update from ``(indices, reward)`` pairs."""

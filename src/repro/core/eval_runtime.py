@@ -1,0 +1,262 @@
+"""Memoized candidate-evaluation runtime for the search hot path.
+
+RL policies resample the same architectures thousands of times as they
+converge, yet every search step used to re-price each sampled candidate
+through the full analytical pipeline (op-graph lowering + simulation).
+The paper's performance model exists precisely because candidate pricing
+must be an O(ms) lookup at hyperscale (Section 6.2); this module makes
+the repo's search loops behave the same way:
+
+* :class:`ArchMetricsCache` — an LRU cache keyed by the architecture's
+  canonical decision-index tuple, memoizing ``performance_fn`` results;
+* :class:`EvalRuntime` — the layer between the search algorithms and the
+  performance signal: cached pricing plus lightweight instrumentation
+  (cache hits/misses, per-stage wall time for
+  sample/score/price/policy-update/weight-update);
+* :class:`MemoizedEvaluate` — the same memoization for the multi-trial
+  baselines, whose ``evaluate_fn`` stands for one full trial.
+
+Searches expose the collected counters on ``SearchResult.eval_stats`` so
+deployments can see where search time goes and how well the cache works.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..searchspace.base import Architecture, SearchSpace
+
+#: Canonical cache key: one integer index per search-space decision.
+ArchKey = Tuple[int, ...]
+
+#: Stage names the searches report wall time for, in pipeline order.
+STAGES = ("sample", "score", "price", "policy_update", "weight_update")
+
+
+def arch_key(indices: Sequence[int]) -> ArchKey:
+    """The canonical decision-index tuple of an architecture."""
+    return tuple(int(i) for i in indices)
+
+
+class ArchMetricsCache:
+    """Bounded LRU cache from decision-index tuples to cached values.
+
+    Hit/miss/eviction counters are public so callers can report cache
+    effectiveness without wrapping every access.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[ArchKey, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ArchKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: ArchKey) -> Optional[Any]:
+        """Cached value for ``key`` (marking it most-recently used)."""
+        try:
+            entry = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: ArchKey, value: Any) -> None:
+        """Insert ``key``, evicting the least-recently-used overflow."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class EvalRuntimeStats:
+    """Snapshot of one runtime's counters (attached to ``SearchResult``)."""
+
+    cache_enabled: bool
+    cache_hits: int
+    cache_misses: int
+    cache_entries: int
+    cache_capacity: int
+    evaluations: int  #: actual ``performance_fn`` invocations
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    stage_calls: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable view for reports and the CLI."""
+        if self.cache_enabled:
+            cache = (
+                f"cache {self.cache_hits}/{self.cache_hits + self.cache_misses} hits "
+                f"({100.0 * self.hit_rate:.1f}%), {self.evaluations} evaluations"
+            )
+        else:
+            cache = f"cache off, {self.evaluations} evaluations"
+        stages = ", ".join(
+            f"{stage}={self.stage_seconds[stage] * 1e3:.1f}ms"
+            for stage in STAGES
+            if stage in self.stage_seconds
+        )
+        return f"{cache}; {stages}" if stages else cache
+
+
+class EvalRuntime:
+    """Cached, instrumented gateway to a ``performance_fn``.
+
+    Sits between the search algorithms and the performance signal.  All
+    pricing goes through :meth:`price`; searches wrap their stages in
+    :meth:`timed` so :meth:`stats` can report where wall time goes.
+
+    One runtime may be shared across several searches (e.g. every sweep
+    point of :func:`repro.core.pareto_search.trace_front`) so repeated
+    candidates are priced once for the whole campaign.
+    """
+
+    def __init__(
+        self,
+        performance_fn: Callable[[Architecture], Mapping[str, float]],
+        space: Optional[SearchSpace] = None,
+        use_cache: bool = True,
+        cache_capacity: int = 4096,
+    ):
+        self.performance_fn = performance_fn
+        self.space = space
+        self.cache: Optional[ArchMetricsCache] = (
+            ArchMetricsCache(cache_capacity) if use_cache else None
+        )
+        self.evaluations = 0
+        self._stage_seconds: Dict[str, float] = {}
+        self._stage_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def price(
+        self, arch: Architecture, indices: Optional[Sequence[int]] = None
+    ) -> Dict[str, float]:
+        """Performance metrics for ``arch``, memoized when caching is on.
+
+        ``indices`` is the architecture's decision-index vector; passing
+        it avoids re-deriving the cache key (the searches already hold
+        it).  Without it the runtime needs ``space`` to compute the key.
+        """
+        if self.cache is None:
+            self.evaluations += 1
+            return dict(self.performance_fn(arch))
+        if indices is None:
+            if self.space is None:
+                raise ValueError(
+                    "EvalRuntime needs either explicit indices or a search "
+                    "space to derive the cache key"
+                )
+            indices = self.space.indices_of(arch)
+        key = arch_key(indices)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        self.evaluations += 1
+        metrics = dict(self.performance_fn(arch))
+        self.cache.put(key, metrics)
+        return dict(metrics)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timed(self, stage: str) -> Iterator[None]:
+        """Accumulate wall time of the enclosed block under ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + elapsed
+            self._stage_calls[stage] = self._stage_calls.get(stage, 0) + 1
+
+    def stage_seconds(self, stage: str) -> float:
+        return self._stage_seconds.get(stage, 0.0)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> EvalRuntimeStats:
+        """Immutable snapshot of the counters collected so far."""
+        return EvalRuntimeStats(
+            cache_enabled=self.cache is not None,
+            cache_hits=self.cache.hits if self.cache else 0,
+            cache_misses=self.cache.misses if self.cache else 0,
+            cache_entries=len(self.cache) if self.cache else 0,
+            cache_capacity=self.cache.capacity if self.cache else 0,
+            evaluations=self.evaluations,
+            stage_seconds=dict(self._stage_seconds),
+            stage_calls=dict(self._stage_calls),
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the instrumentation (cache contents are kept)."""
+        self.evaluations = 0
+        self._stage_seconds.clear()
+        self._stage_calls.clear()
+        if self.cache is not None:
+            self.cache.hits = 0
+            self.cache.misses = 0
+            self.cache.evictions = 0
+
+
+class MemoizedEvaluate:
+    """LRU-memoized ``evaluate_fn`` for the multi-trial baselines.
+
+    One ``evaluate_fn`` call stands for a full independent trial, so a
+    duplicate candidate (random search resampling, evolution re-rolling
+    a mutation back to a seen genotype) need not pay for a second trial.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluate_fn: Callable[[Architecture], Tuple[float, Mapping[str, float]]],
+        capacity: int = 4096,
+    ):
+        self.space = space
+        self.evaluate_fn = evaluate_fn
+        self.cache = ArchMetricsCache(capacity)
+
+    def __call__(self, arch: Architecture) -> Tuple[float, Mapping[str, float]]:
+        key = arch_key(self.space.indices_of(arch))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.evaluate_fn(arch)
+        self.cache.put(key, result)
+        return result

@@ -52,9 +52,16 @@ class H2ONas:
             performance_fn=performance_fn,
             config=config,
         )
+        #: the memoized candidate-evaluation runtime (cache + timers);
+        #: controlled by ``config.use_cache`` / ``config.cache_size``.
+        self.eval_runtime = self.search_algorithm.runtime
 
     def search(self) -> SearchResult:
-        """Run the search and return the Pareto-optimized architecture."""
+        """Run the search and return the Pareto-optimized architecture.
+
+        The returned ``SearchResult.eval_stats`` reports cache hit rate
+        and per-stage wall time for the run.
+        """
         return self.search_algorithm.run()
 
     def evaluate(self, arch: Architecture, batch: Batch) -> float:

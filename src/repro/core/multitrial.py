@@ -21,6 +21,7 @@ from typing import Callable, Deque, List, Mapping, Tuple
 import numpy as np
 
 from ..searchspace.base import Architecture, SearchSpace
+from .eval_runtime import MemoizedEvaluate
 from .reward import RewardFunction
 
 #: One trial: architecture -> (quality, performance metrics).
@@ -39,10 +40,16 @@ class Trial:
 
 @dataclass
 class MultiTrialResult:
-    """Outcome of a multi-trial search."""
+    """Outcome of a multi-trial search.
+
+    ``cache_hits`` counts trials answered from the memoized evaluation
+    cache — duplicated candidates that did not pay for a fresh trial.
+    """
 
     best: Trial
     trials: List[Trial] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def num_trials(self) -> int:
@@ -66,6 +73,8 @@ class RandomSearch:
         reward_fn: RewardFunction,
         num_trials: int = 100,
         seed: int = 0,
+        use_cache: bool = True,
+        cache_size: int = 4096,
     ):
         if num_trials < 1:
             raise ValueError("num_trials must be >= 1")
@@ -74,13 +83,16 @@ class RandomSearch:
         self.reward_fn = reward_fn
         self.num_trials = num_trials
         self._rng = np.random.default_rng(seed)
+        self._evaluate = (
+            MemoizedEvaluate(space, evaluate_fn, cache_size) if use_cache else evaluate_fn
+        )
 
     def run(self) -> MultiTrialResult:
         trials = [self._trial(self.space.sample(self._rng)) for _ in range(self.num_trials)]
-        return MultiTrialResult(best=max(trials, key=lambda t: t.reward), trials=trials)
+        return _result(trials, self._evaluate)
 
     def _trial(self, arch: Architecture) -> Trial:
-        quality, metrics = self.evaluate_fn(arch)
+        quality, metrics = self._evaluate(arch)
         return Trial(arch, quality, metrics, self.reward_fn(quality, metrics))
 
 
@@ -104,6 +116,17 @@ class EvolutionConfig:
             raise ValueError("mutations_per_child must be >= 1")
 
 
+def _result(trials: List[Trial], evaluate: EvaluateFn) -> MultiTrialResult:
+    """Assemble a result, lifting cache counters off a memoized evaluate."""
+    cache = evaluate.cache if isinstance(evaluate, MemoizedEvaluate) else None
+    return MultiTrialResult(
+        best=max(trials, key=lambda t: t.reward),
+        trials=trials,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0,
+    )
+
+
 class EvolutionarySearch:
     """Aging evolution: tournament parent selection, mutate, drop oldest."""
 
@@ -114,12 +137,17 @@ class EvolutionarySearch:
         reward_fn: RewardFunction,
         config: EvolutionConfig = EvolutionConfig(),
         seed: int = 0,
+        use_cache: bool = True,
+        cache_size: int = 4096,
     ):
         self.space = space
         self.evaluate_fn = evaluate_fn
         self.reward_fn = reward_fn
         self.config = config
         self._rng = np.random.default_rng(seed)
+        self._evaluate = (
+            MemoizedEvaluate(space, evaluate_fn, cache_size) if use_cache else evaluate_fn
+        )
 
     def run(self) -> MultiTrialResult:
         cfg = self.config
@@ -142,7 +170,7 @@ class EvolutionarySearch:
             trials.append(child)
             population.append(child)
             population.popleft()
-        return MultiTrialResult(best=max(trials, key=lambda t: t.reward), trials=trials)
+        return _result(trials, self._evaluate)
 
     def mutate(self, arch: Architecture) -> Architecture:
         """Re-roll ``mutations_per_child`` random decisions to new values."""
@@ -160,5 +188,5 @@ class EvolutionarySearch:
         return arch.replaced(**updates)
 
     def _trial(self, arch: Architecture) -> Trial:
-        quality, metrics = self.evaluate_fn(arch)
+        quality, metrics = self._evaluate(arch)
         return Trial(arch, quality, metrics, self.reward_fn(quality, metrics))

@@ -17,6 +17,7 @@ from ..analysis.pareto import pareto_front
 from ..data.pipeline import SingleStepPipeline
 from ..data.synthetic import NullSource
 from ..searchspace.base import Architecture, SearchSpace
+from .eval_runtime import EvalRuntime, EvalRuntimeStats
 from .reward import PerformanceObjective, RewardFunction, relu_reward
 from .search import PerformanceFn, SearchConfig, SingleStepSearch
 from .surrogate import SurrogateSuperNetwork
@@ -40,6 +41,8 @@ class FrontResult:
 
     points: List[FrontPoint] = field(default_factory=list)
     primary_metric: str = "train_step_time"
+    #: sweep-wide evaluation-runtime counters (cache shared across targets)
+    eval_stats: Optional[EvalRuntimeStats] = None
 
     def front(self) -> List[FrontPoint]:
         """The non-dominated subset (max quality, min primary metric)."""
@@ -97,9 +100,20 @@ def trace_front(
     regime); ``performance_fn`` returns the metric mapping used by the
     reward.  ``secondary_objectives`` (e.g. a neutral model-size target)
     apply unchanged at every sweep point.
+
+    All sweep points share one :class:`EvalRuntime`: the performance
+    signal does not depend on the target, so candidates revisited by
+    later searches are priced from the cache.  The sweep-wide counters
+    land on ``FrontResult.eval_stats``.
     """
     baseline = baseline or space.default_architecture()
-    base_value = performance_fn(baseline)[config.primary_metric]
+    runtime = EvalRuntime(
+        performance_fn,
+        space=space,
+        use_cache=config.search.use_cache,
+        cache_capacity=config.search.cache_size,
+    )
+    base_value = runtime.price(baseline)[config.primary_metric]
     result = FrontResult(primary_metric=config.primary_metric)
     for scale in config.target_scales:
         objectives = [
@@ -119,14 +133,16 @@ def trace_front(
             reward_fn=relu_reward(objectives),
             performance_fn=performance_fn,
             config=config.search,
+            eval_runtime=runtime,
         )
         final = search.run().final_architecture
         result.points.append(
             FrontPoint(
                 architecture=final,
                 quality=quality_fn(final),
-                metrics=dict(performance_fn(final)),
+                metrics=runtime.price(final),
                 target_scale=scale,
             )
         )
+    result.eval_stats = runtime.stats()
     return result

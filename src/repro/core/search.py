@@ -25,11 +25,11 @@ from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, 
 
 import numpy as np
 
-from ..data.batch import Batch
 from ..data.pipeline import SingleStepPipeline, TwoStreamPipeline
 from ..nn import Adam, Optimizer
 from ..searchspace.base import Architecture, SearchSpace
 from .controller import ReinforceController
+from .eval_runtime import EvalRuntime, EvalRuntimeStats
 from .reward import RewardFunction
 
 PerformanceFn = Callable[[Architecture], Mapping[str, float]]
@@ -70,11 +70,17 @@ class StepRecord:
 
 @dataclass
 class SearchResult:
-    """Outcome of a completed search."""
+    """Outcome of a completed search.
+
+    ``eval_stats`` carries the evaluation runtime's instrumentation:
+    cache hit/miss counters and per-stage wall time
+    (sample/score/price/policy_update/weight_update).
+    """
 
     final_architecture: Architecture
     history: List[StepRecord]
     batches_used: int
+    eval_stats: Optional[EvalRuntimeStats] = None
 
     @property
     def all_candidates(self) -> List[CandidateRecord]:
@@ -99,12 +105,16 @@ class SearchConfig:
     warmup_steps: int = 10  # weight-only steps before policy updates begin
     record_candidates: bool = True
     seed: int = 0
+    use_cache: bool = True  # memoize performance_fn by decision indices
+    cache_size: int = 4096  # LRU capacity of the metrics cache
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.num_cores < 1:
             raise ValueError("steps and num_cores must be >= 1")
         if self.warmup_steps < 0:
             raise ValueError("warmup_steps must be >= 0")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
 
 
 class SingleStepSearch:
@@ -118,6 +128,7 @@ class SingleStepSearch:
         reward_fn: RewardFunction,
         performance_fn: PerformanceFn,
         config: SearchConfig = SearchConfig(),
+        eval_runtime: Optional[EvalRuntime] = None,
     ):
         self.space = space
         self.supernet = supernet
@@ -125,6 +136,12 @@ class SingleStepSearch:
         self.reward_fn = reward_fn
         self.performance_fn = performance_fn
         self.config = config
+        self.runtime = eval_runtime or EvalRuntime(
+            performance_fn,
+            space=space,
+            use_cache=config.use_cache,
+            cache_capacity=config.cache_size,
+        )
         self.controller = ReinforceController(
             space,
             learning_rate=config.policy_lr,
@@ -141,41 +158,52 @@ class SingleStepSearch:
             final_architecture=self.controller.best_architecture(),
             history=history,
             batches_used=self.pipeline.batches_issued,
+            eval_stats=self.runtime.stats(),
         )
 
     def _step(self, step: int) -> StepRecord:
         cfg = self.config
+        runtime = self.runtime
         warming_up = step < cfg.warmup_steps
-        # Stage 1: every core draws a fresh batch and samples a candidate,
-        # then scores it with the shared weights (policy consumes first).
-        shard: List[Tuple[Batch, Architecture, np.ndarray]] = []
-        for _ in range(cfg.num_cores):
-            batch = self.pipeline.next_batch()
+        # Stage 1: every core draws a fresh batch; the shard's candidates
+        # are sampled in one vectorized policy draw.
+        with runtime.timed("sample"):
+            batches = [self.pipeline.next_batch() for _ in range(cfg.num_cores)]
             if warming_up:
-                arch = self.space.sample(self._warmup_rng)
-                indices = self.space.indices_of(arch)
+                drawn = []
+                for _ in range(cfg.num_cores):
+                    arch = self.space.sample(self._warmup_rng)
+                    drawn.append((arch, self.space.indices_of(arch)))
             else:
-                arch, indices = self.controller.sample()
-            shard.append((batch, arch, indices))
+                drawn = self.controller.sample_many(cfg.num_cores)
+        # Stage 2: score each candidate with the shared weights on its
+        # fresh batch (the policy consumes the batch first).
+        with runtime.timed("score"):
+            qualities = []
+            for batch, (arch, _) in zip(batches, drawn):
+                qualities.append(self.supernet.quality(arch, batch.inputs, batch.labels))
+                self.pipeline.mark_policy_use(batch)
+        # Stage 3: price the candidates through the memoized runtime.
+        with runtime.timed("price"):
+            all_metrics = [runtime.price(arch, indices) for arch, indices in drawn]
         candidates: List[CandidateRecord] = []
         samples: List[Tuple[np.ndarray, float]] = []
-        for batch, arch, indices in shard:
-            quality = self.supernet.quality(arch, batch.inputs, batch.labels)
-            self.pipeline.mark_policy_use(batch)
-            metrics = dict(self.performance_fn(arch))
+        for (arch, indices), quality, metrics in zip(drawn, qualities, all_metrics):
             reward = self.reward_fn(quality, metrics)
             samples.append((indices, reward))
             candidates.append(CandidateRecord(arch, quality, metrics, reward))
-        # Stage 2: cross-shard policy update (skipped during warmup).
+        # Stage 4: cross-shard policy update (skipped during warmup).
         if not warming_up:
-            self.controller.update(samples)
-        # Stage 3: cross-shard weight update on the same batches.
-        self.supernet.zero_grad()
-        for batch, arch, _ in shard:
-            loss = self.supernet.loss(arch, batch.inputs, batch.labels)
-            (loss * (1.0 / cfg.num_cores)).backward()
-            self.pipeline.mark_weight_use(batch)
-        self._optimizer.step()
+            with runtime.timed("policy_update"):
+                self.controller.update(samples)
+        # Stage 5: cross-shard weight update on the same batches.
+        with runtime.timed("weight_update"):
+            self.supernet.zero_grad()
+            for batch, (arch, _) in zip(batches, drawn):
+                loss = self.supernet.loss(arch, batch.inputs, batch.labels)
+                (loss * (1.0 / cfg.num_cores)).backward()
+                self.pipeline.mark_weight_use(batch)
+            self._optimizer.step()
         return StepRecord(
             step=step,
             mean_reward=float(np.mean([c.reward for c in candidates])),
@@ -196,6 +224,7 @@ class TunasSearch:
         reward_fn: RewardFunction,
         performance_fn: PerformanceFn,
         config: SearchConfig = SearchConfig(),
+        eval_runtime: Optional[EvalRuntime] = None,
     ):
         self.space = space
         self.supernet = supernet
@@ -203,6 +232,12 @@ class TunasSearch:
         self.reward_fn = reward_fn
         self.performance_fn = performance_fn
         self.config = config
+        self.runtime = eval_runtime or EvalRuntime(
+            performance_fn,
+            space=space,
+            use_cache=config.use_cache,
+            cache_capacity=config.cache_size,
+        )
         self.controller = ReinforceController(
             space,
             learning_rate=config.policy_lr,
@@ -219,33 +254,44 @@ class TunasSearch:
             final_architecture=self.controller.best_architecture(),
             history=history,
             batches_used=batches,
+            eval_stats=self.runtime.stats(),
         )
 
     def _step(self, step: int) -> StepRecord:
         cfg = self.config
+        runtime = self.runtime
         warming_up = step < cfg.warmup_steps
         # Weight-training step on the training split.
-        if warming_up:
-            arch = self.space.sample(self._warmup_rng)
-        else:
-            arch, _ = self.controller.sample()
-        train_batch = self.pipeline.next_train_batch()
-        self.supernet.zero_grad()
-        self.supernet.loss(arch, train_batch.inputs, train_batch.labels).backward()
-        self._optimizer.step()
-        # Policy step on the validation split.
+        with runtime.timed("weight_update"):
+            if warming_up:
+                arch = self.space.sample(self._warmup_rng)
+            else:
+                arch, _ = self.controller.sample()
+            train_batch = self.pipeline.next_train_batch()
+            self.supernet.zero_grad()
+            self.supernet.loss(arch, train_batch.inputs, train_batch.labels).backward()
+            self._optimizer.step()
+        # Policy step on the validation split: one vectorized draw, then
+        # score and price the whole shard.
+        valid_batch = self.pipeline.next_valid_batch()
+        with runtime.timed("sample"):
+            drawn = self.controller.sample_many(cfg.num_cores)
+        with runtime.timed("score"):
+            qualities = [
+                self.supernet.quality(cand, valid_batch.inputs, valid_batch.labels)
+                for cand, _ in drawn
+            ]
+        with runtime.timed("price"):
+            all_metrics = [runtime.price(cand, indices) for cand, indices in drawn]
         candidates: List[CandidateRecord] = []
         samples: List[Tuple[np.ndarray, float]] = []
-        valid_batch = self.pipeline.next_valid_batch()
-        for _ in range(cfg.num_cores):
-            cand, indices = self.controller.sample()
-            quality = self.supernet.quality(cand, valid_batch.inputs, valid_batch.labels)
-            metrics = dict(self.performance_fn(cand))
+        for (cand, indices), quality, metrics in zip(drawn, qualities, all_metrics):
             reward = self.reward_fn(quality, metrics)
             samples.append((indices, reward))
             candidates.append(CandidateRecord(cand, quality, metrics, reward))
         if not warming_up:
-            self.controller.update(samples)
+            with runtime.timed("policy_update"):
+                self.controller.update(samples)
         return StepRecord(
             step=step,
             mean_reward=float(np.mean([c.reward for c in candidates])),

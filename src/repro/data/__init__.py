@@ -2,6 +2,7 @@
 
 from .batch import Batch
 from .pipeline import (
+    PipelineExhausted,
     PipelineProtocolError,
     SingleStepPipeline,
     TwoStreamPipeline,
@@ -26,6 +27,7 @@ __all__ = [
     "LmTaskConfig",
     "LmTeacher",
     "NullSource",
+    "PipelineExhausted",
     "PipelineProtocolError",
     "SequenceTaskConfig",
     "SequenceTeacher",

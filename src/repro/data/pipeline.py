@@ -30,20 +30,50 @@ class PipelineProtocolError(RuntimeError):
     """Raised when a consumer violates the single-use/ordering protocol."""
 
 
+class PipelineExhausted(PipelineProtocolError):
+    """Raised when a bounded pipeline has no fresh batches left.
+
+    Deliberately *not* a ``StopIteration`` subclass: a ``StopIteration``
+    escaping into a ``for`` loop or generator silently terminates the
+    iteration, which turned budget exhaustion mid-search into a truncated
+    run with no error.  Exhaustion is loud now.
+    """
+
+
 class SingleStepPipeline:
-    """Streaming pipeline with single-use, policy-before-weights batches."""
+    """Streaming pipeline with single-use, policy-before-weights batches.
+
+    Bookkeeping is O(outstanding batches), not O(stream length): a batch's
+    record is dropped the moment it is fully consumed, and single-delivery
+    is enforced through the stream's monotone batch ids (see
+    :class:`~repro.data.batch.Batch`) with an O(1) high-watermark.
+    """
 
     def __init__(self, source: BatchSource, max_batches: Optional[int] = None):
         self._source = source
         self._max_batches = max_batches
         self._issued = 0
-        #: batch_id -> consumption state ("issued" | "policy" | "weights")
-        self._state: Dict[int, str] = {}
+        #: batch_id -> consumption state, for *outstanding* batches only
+        #: ("issued" | "policy"); fully-consumed entries are evicted.
+        self._outstanding: Dict[int, str] = {}
+        #: highest batch id ever issued — O(1) re-delivery detection.
+        self._id_watermark = -1
+        self._peak_outstanding = 0
 
     # ------------------------------------------------------------------
     @property
     def batches_issued(self) -> int:
         return self._issued
+
+    @property
+    def outstanding_batches(self) -> int:
+        """Batches issued but not yet fully consumed (bookkeeping size)."""
+        return len(self._outstanding)
+
+    @property
+    def peak_outstanding(self) -> int:
+        """High-watermark of :attr:`outstanding_batches` over the stream."""
+        return self._peak_outstanding
 
     def exhausted(self) -> bool:
         return self._max_batches is not None and self._issued >= self._max_batches
@@ -51,27 +81,41 @@ class SingleStepPipeline:
     def next_batch(self) -> Batch:
         """Fetch the next fresh batch from the stream."""
         if self.exhausted():
-            raise StopIteration("pipeline exhausted")
-        batch = self._source()
-        if batch.batch_id in self._state:
-            raise PipelineProtocolError(
-                f"source re-issued batch {batch.batch_id}; production traffic "
-                "must deliver each example once"
+            raise PipelineExhausted(
+                f"pipeline exhausted after {self._issued} batches "
+                f"(max_batches={self._max_batches})"
             )
-        self._state[batch.batch_id] = "issued"
+        batch = self._source()
+        if batch.batch_id <= self._id_watermark:
+            raise PipelineProtocolError(
+                f"source re-issued batch {batch.batch_id} (ids must be fresh "
+                f"and increasing; watermark={self._id_watermark}); production "
+                "traffic must deliver each example once"
+            )
+        self._id_watermark = batch.batch_id
+        self._outstanding[batch.batch_id] = "issued"
+        self._peak_outstanding = max(self._peak_outstanding, len(self._outstanding))
         self._issued += 1
         return batch
 
     def mark_policy_use(self, batch: Batch) -> None:
         """Record that the RL policy consumed ``batch`` (must come first)."""
-        state = self._state.get(batch.batch_id)
+        state = self._outstanding.get(batch.batch_id)
         if state is None:
-            raise PipelineProtocolError(f"batch {batch.batch_id} was never issued")
+            if batch.batch_id > self._id_watermark:
+                raise PipelineProtocolError(
+                    f"batch {batch.batch_id} was never issued"
+                )
+            raise PipelineProtocolError(
+                f"batch {batch.batch_id} already fully consumed "
+                "(state='weights'; record dropped)"
+            )
         if state != "issued":
             raise PipelineProtocolError(
-                f"batch {batch.batch_id} already consumed by the policy"
+                f"batch {batch.batch_id} already consumed by the policy "
+                f"(state={state!r})"
             )
-        self._state[batch.batch_id] = "policy"
+        self._outstanding[batch.batch_id] = "policy"
 
     def mark_weight_use(self, batch: Batch) -> None:
         """Record that shared-weight training consumed ``batch``.
@@ -79,21 +123,23 @@ class SingleStepPipeline:
         Raises unless the policy consumed the batch first — the paper's
         "learning alpha always precedes training W" guarantee.
         """
-        state = self._state.get(batch.batch_id)
+        state = self._outstanding.get(batch.batch_id)
         if state is None:
-            raise PipelineProtocolError(f"batch {batch.batch_id} was never issued")
+            if batch.batch_id > self._id_watermark:
+                raise PipelineProtocolError(
+                    f"batch {batch.batch_id} was never issued"
+                )
+            raise PipelineProtocolError(
+                f"batch {batch.batch_id} already used for weight training; "
+                "every example is used at most once"
+            )
         if state == "issued":
             raise PipelineProtocolError(
                 f"batch {batch.batch_id}: weights may not train on data the "
                 "policy has not yet scored (policy-before-weights invariant)"
             )
-        if state == "weights":
-            raise PipelineProtocolError(
-                f"batch {batch.batch_id} already used for weight training; "
-                "every example is used at most once"
-            )
         # Fully consumed: drop all record of the data (in-memory only).
-        self._state[batch.batch_id] = "weights"
+        del self._outstanding[batch.batch_id]
 
 
 class TwoStreamPipeline:

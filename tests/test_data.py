@@ -9,6 +9,7 @@ from repro.data import (
     Batch,
     CtrTaskConfig,
     CtrTeacher,
+    PipelineExhausted,
     PipelineProtocolError,
     SingleStepPipeline,
     TwoStreamPipeline,
@@ -150,8 +151,73 @@ class TestSingleStepPipeline:
         for _ in range(3):
             pipe.next_batch()
         assert pipe.exhausted()
-        with pytest.raises(StopIteration):
+        with pytest.raises(PipelineExhausted, match="exhausted"):
             pipe.next_batch()
+
+    def test_exhaustion_is_not_stop_iteration(self):
+        """Exhaustion must escape ``for`` loops and generators loudly.
+
+        A bare ``StopIteration`` raised inside a generator is swallowed
+        by the iteration protocol, silently truncating the consumer; the
+        dedicated ``PipelineExhausted`` is a ``PipelineProtocolError``
+        instead and propagates.
+        """
+        assert not issubclass(PipelineExhausted, StopIteration)
+        assert issubclass(PipelineExhausted, PipelineProtocolError)
+        pipe = self.make(max_batches=2)
+
+        def consume_stream():
+            while True:
+                yield pipe.next_batch()
+
+        seen = []
+        with pytest.raises(PipelineExhausted):
+            for batch in consume_stream():
+                seen.append(batch.batch_id)
+        assert len(seen) == 2  # both real batches arrived before the error
+
+    def test_bookkeeping_evicted_on_full_consumption(self):
+        pipe = self.make()
+        batch = pipe.next_batch()
+        assert pipe.outstanding_batches == 1
+        pipe.mark_policy_use(batch)
+        assert pipe.outstanding_batches == 1
+        pipe.mark_weight_use(batch)
+        assert pipe.outstanding_batches == 0
+
+    def test_long_stream_memory_stays_bounded(self):
+        """10k fully-consumed batches leave zero bookkeeping behind.
+
+        Regression test for the unbounded ``_state`` dict: the pipeline
+        must hold O(outstanding batches) state, not O(stream length).
+        """
+        teacher = CtrTeacher(CtrTaskConfig(batch_size=2))
+        pipe = SingleStepPipeline(teacher.next_batch)
+        for _ in range(10_000):
+            batch = pipe.next_batch()
+            pipe.mark_policy_use(batch)
+            pipe.mark_weight_use(batch)
+        assert pipe.batches_issued == 10_000
+        assert pipe.outstanding_batches == 0
+        assert pipe.peak_outstanding == 1
+
+    def test_consumed_batch_reuse_still_detected_after_eviction(self):
+        """Eviction must not forget that a batch was fully consumed."""
+        pipe = self.make()
+        batch = pipe.next_batch()
+        pipe.mark_policy_use(batch)
+        pipe.mark_weight_use(batch)
+        with pytest.raises(PipelineProtocolError, match="fully consumed"):
+            pipe.mark_policy_use(batch)
+        with pytest.raises(PipelineProtocolError, match="at most once"):
+            pipe.mark_weight_use(batch)
+
+    def test_policy_error_reports_actual_state(self):
+        pipe = self.make()
+        batch = pipe.next_batch()
+        pipe.mark_policy_use(batch)
+        with pytest.raises(PipelineProtocolError, match="state='policy'"):
+            pipe.mark_policy_use(batch)
 
     def test_reissued_batch_rejected(self):
         fixed = Batch(0, {"x": np.ones((2, 1))}, np.zeros(2))

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import H2ONas, PerformanceObjective, SearchConfig
-from repro.data import CtrTaskConfig, CtrTeacher
+from repro.data import CtrTaskConfig, CtrTeacher, PipelineExhausted
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
 
@@ -33,10 +33,20 @@ class TestFacadeExtra:
 
     def test_max_batches_enforced(self):
         nas = build(max_batches=4)
-        with pytest.raises(StopIteration):
+        with pytest.raises(PipelineExhausted):
             nas.search()  # 4 steps x 2 cores = 8 > 4 budget
 
     def test_pipeline_exposed(self):
         nas = build()
         nas.search()
         assert nas.pipeline.batches_issued == 8
+
+    def test_eval_runtime_exposed(self):
+        nas = build()
+        result = nas.search()
+        assert nas.eval_runtime is nas.search_algorithm.runtime
+        stats = result.eval_stats
+        assert stats is not None and stats.cache_enabled
+        assert stats.cache_hits + stats.cache_misses == 8  # steps x cores
+        for stage in ("sample", "score", "price", "weight_update"):
+            assert stats.stage_seconds[stage] >= 0.0

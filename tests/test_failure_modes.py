@@ -15,6 +15,7 @@ from repro.data import (
     CtrTaskConfig,
     CtrTeacher,
     NullSource,
+    PipelineExhausted,
     PipelineProtocolError,
     SingleStepPipeline,
 )
@@ -85,7 +86,7 @@ class TestPipelineMisuse:
             performance_fn=lambda arch: {},
             config=SearchConfig(steps=10, num_cores=2, warmup_steps=0),
         )
-        with pytest.raises(StopIteration):
+        with pytest.raises(PipelineExhausted):
             search.run()
 
 
