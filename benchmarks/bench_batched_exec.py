@@ -1,0 +1,198 @@
+"""Batched shard execution vs. the sequential per-candidate paths.
+
+Two measurements back the batched execution layer:
+
+* **Batched pricing** (part A): a cold-cache shard priced through
+  ``EvalRuntime.price_many`` — one ``encode_batch`` + one MLP forward
+  for every miss — against the same shard priced candidate-by-candidate
+  through ``EvalRuntime.price``.  The paper's O(ms) shard pricing
+  depends on this shape; acceptance is >= 3x price-stage throughput.
+* **Grouped supernet passes** (part B): a converged-policy single-step
+  search over a real DLRM super-network with unique-architecture
+  grouping on vs. off.  Once the policy concentrates, the shard's
+  ``num_cores`` candidates collapse to a few unique architectures, so
+  the score and weight-update stages run a few stacked passes instead
+  of ``num_cores`` sequential ones; acceptance is a measurable
+  reduction in score+weight wall time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    EvalRuntime,
+    PerformanceObjective,
+    SearchConfig,
+    SingleStepSearch,
+    arch_key,
+    relu_reward,
+)
+from repro.data import CtrTaskConfig, CtrTeacher, SingleStepPipeline
+from repro.perfmodel import ArchitectureEncoder, PerformanceModel
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
+
+from .common import emit, emit_json
+
+pytestmark = pytest.mark.slow
+
+NUM_TABLES = 3
+SHARD_CANDIDATES = 1024  # cold-cache shard size for the pricing measurement
+SEARCH_STEPS = 40
+CORES = 8
+CONVERGED_LOGIT = 7.0  # sharply peaks every decision, as late in a search
+
+
+def _unique_shard(space, count, seed=0):
+    """``count`` distinct (arch, indices) pairs — a fully cold shard."""
+    rng = np.random.default_rng(seed)
+    drawn, seen = [], set()
+    while len(drawn) < count:
+        arch = space.sample(rng)
+        indices = space.indices_of(arch)
+        key = arch_key(indices)
+        if key in seen:
+            continue
+        seen.add(key)
+        drawn.append((arch, indices))
+    return drawn
+
+
+def run_pricing(shard_candidates=SHARD_CANDIDATES):
+    """Part A: batched vs. per-candidate MLP pricing, cold cache."""
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2)
+    )
+    # MLP heads only: the analytical size head is per-architecture Python
+    # either way, so it would dilute the batched-vs-sequential contrast
+    # this measurement is after.
+    model = PerformanceModel(
+        ArchitectureEncoder(space), hidden_sizes=(512, 512), seed=0
+    )
+    drawn = _unique_shard(space, shard_candidates)
+
+    batched = EvalRuntime(model, space=space)
+    with batched.timed("price"):
+        batched_metrics = batched.price_many(drawn)
+    sequential = EvalRuntime(model, space=space)
+    with sequential.timed("price"):
+        sequential_metrics = [sequential.price(arch, idx) for arch, idx in drawn]
+
+    for got, want in zip(batched_metrics, sequential_metrics):
+        assert got.keys() == want.keys()
+        assert all(np.isclose(got[k], want[k]) for k in want)
+    batched_stats, sequential_stats = batched.stats(), sequential.stats()
+    return {
+        "shard_candidates": shard_candidates,
+        "batched_throughput": batched_stats.price_throughput,
+        "sequential_throughput": sequential_stats.price_throughput,
+        "speedup": batched_stats.price_throughput
+        / max(sequential_stats.price_throughput, 1e-12),
+        "batched_price_seconds": batched_stats.stage_seconds["price"],
+        "sequential_price_seconds": sequential_stats.stage_seconds["price"],
+    }
+
+
+def build_search(group_unique, steps=SEARCH_STEPS, cores=CORES, seed=0):
+    """A converged-policy DLRM search over the real super-network."""
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2)
+    )
+    teacher = CtrTeacher(
+        CtrTaskConfig(num_tables=NUM_TABLES, batch_size=64, seed=seed)
+    )
+
+    def performance_fn(arch):
+        cost = 1.0
+        for t in range(NUM_TABLES):
+            cost += 0.05 * arch[f"emb{t}/width_delta"]
+        return {"train_step_time": max(0.1, cost)}
+
+    search = SingleStepSearch(
+        space=space,
+        supernet=DlrmSuperNetwork(
+            DlrmSupernetConfig(num_tables=NUM_TABLES, seed=seed)
+        ),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward(
+            [PerformanceObjective("train_step_time", 1.0, beta=-0.5)]
+        ),
+        performance_fn=performance_fn,
+        config=SearchConfig(
+            steps=steps,
+            num_cores=cores,
+            warmup_steps=0,
+            policy_lr=1e-6,  # hold the converged policy in place
+            record_candidates=False,
+            seed=seed,
+            group_unique=group_unique,
+        ),
+    )
+    # Emulate a converged policy: concentrate every decision.
+    for logit in search.controller.policy.logits:
+        logit[0] = CONVERGED_LOGIT
+    return search
+
+
+def supernet_seconds(stats):
+    return stats.stage_seconds["score"] + stats.stage_seconds["weight_update"]
+
+
+def run_grouping(steps=SEARCH_STEPS, cores=CORES):
+    """Part B: unique-arch grouped supernet passes vs. per-core passes."""
+    grouped = build_search(group_unique=True, steps=steps, cores=cores).run()
+    ungrouped = build_search(group_unique=False, steps=steps, cores=cores).run()
+    # Same converged policy and seed => the same search trajectory.
+    assert np.allclose(
+        [r.mean_quality for r in grouped.history],
+        [r.mean_quality for r in ungrouped.history],
+        atol=1e-3,
+    )
+    return {
+        "steps": steps,
+        "cores": cores,
+        "grouped_supernet_seconds": supernet_seconds(grouped.eval_stats),
+        "ungrouped_supernet_seconds": supernet_seconds(ungrouped.eval_stats),
+        "speedup": supernet_seconds(ungrouped.eval_stats)
+        / max(supernet_seconds(grouped.eval_stats), 1e-12),
+        "grouped_stage_seconds": dict(grouped.eval_stats.stage_seconds),
+        "ungrouped_stage_seconds": dict(ungrouped.eval_stats.stage_seconds),
+    }
+
+
+def run(shard_candidates=SHARD_CANDIDATES, steps=SEARCH_STEPS, cores=CORES):
+    pricing = run_pricing(shard_candidates)
+    grouping = run_grouping(steps, cores)
+    table = format_table(
+        ["path", "batched", "sequential", "speedup"],
+        [
+            [
+                f"MLP pricing, cold shard of {pricing['shard_candidates']}"
+                " (candidates/s)",
+                f"{pricing['batched_throughput']:.0f}",
+                f"{pricing['sequential_throughput']:.0f}",
+                f"{pricing['speedup']:.1f}x",
+            ],
+            [
+                f"supernet score+update, {grouping['steps']} steps x "
+                f"{grouping['cores']} cores (s)",
+                f"{grouping['grouped_supernet_seconds']:.2f}",
+                f"{grouping['ungrouped_supernet_seconds']:.2f}",
+                f"{grouping['speedup']:.1f}x",
+            ],
+        ],
+    )
+    emit("batched_exec", table)
+    emit_json("batched_exec", {"pricing": pricing, "grouping": grouping})
+    return pricing, grouping
+
+
+def test_batched_exec(benchmark):
+    pricing, grouping = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Acceptance: >= 3x price-stage throughput on a cold-cache shard.
+    assert pricing["speedup"] >= 3.0, f"pricing speedup only {pricing['speedup']:.2f}x"
+    # Acceptance: measurable wall-clock reduction from unique-arch grouping.
+    assert grouping["speedup"] >= 1.2, f"grouping speedup only {grouping['speedup']:.2f}x"

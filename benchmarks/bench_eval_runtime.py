@@ -28,7 +28,7 @@ from repro.models import baseline_production_dlrm
 from repro.models.timing import DlrmTimingHarness
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 pytestmark = pytest.mark.slow
 
@@ -111,6 +111,20 @@ def run():
         ],
     )
     emit("eval_runtime", table)
+    emit_json(
+        "eval_runtime",
+        {
+            "steps": STEPS,
+            "cores": CORES,
+            "cached_throughput": price_throughput(cached),
+            "uncached_throughput": price_throughput(uncached),
+            "speedup": speedup,
+            "hit_rate": cached.hit_rate,
+            "simulator_calls_cached": cached.evaluations,
+            "simulator_calls_uncached": uncached.evaluations,
+            "stage_seconds_cached": dict(cached.stage_seconds),
+        },
+    )
     return cached, uncached, speedup
 
 

@@ -31,6 +31,9 @@ NUM_TABLES = 8
 PRETRAIN_SAMPLES = 10_000
 FINETUNE_SAMPLES = 20
 EVAL_SAMPLES = 300
+#: Simulator-sweep worker threads; the sweep is order-preserving and the
+#: simulator deterministic, so the dataset is identical at any count.
+NUM_WORKERS = 4
 
 
 def run():
@@ -48,7 +51,10 @@ def run():
         simulate_fn=harness.simulate,
         measure_fn=harness.measure,
         config=TwoPhaseConfig(
-            pretrain_epochs=60, finetune_epochs=200, finetune_lr=5e-5
+            pretrain_epochs=60,
+            finetune_epochs=200,
+            finetune_lr=5e-5,
+            num_workers=NUM_WORKERS,
         ),
         seed=0,
     )

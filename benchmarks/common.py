@@ -11,7 +11,9 @@ expected to match.
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Mapping
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
@@ -24,3 +26,15 @@ def emit(name: str, text: str) -> str:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(output)
     return output
+
+
+def emit_json(name: str, payload: Mapping[str, Any]) -> pathlib.Path:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    Written next to the text block of the same name so dashboards and
+    regression checks can diff runs without parsing tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(dict(payload), indent=2, sort_keys=True, default=float) + "\n")
+    return path

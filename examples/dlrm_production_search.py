@@ -87,7 +87,9 @@ def main():
         supernet=SurrogateSuperNetwork(quality_fn, noise_sigma=0.01, seed=0),
         pipeline=SingleStepPipeline(NullSource().next_batch),
         reward_fn=relu_reward(objectives),
-        performance_fn=perf_model.predict,
+        # The model itself is a BatchPerformanceFn: cache misses within a
+        # shard are priced in one vectorized forward pass.
+        performance_fn=perf_model,
         config=SearchConfig(
             steps=250, num_cores=8, warmup_steps=10, policy_lr=0.12,
             policy_entropy_coef=0.12, record_candidates=False, seed=0,

@@ -7,7 +7,9 @@ Subcommands:
 * ``roofline`` — place an MBConv / fused-MBConv block on a platform's
   roofline (the Figure 4 study for one block);
 * ``cost`` — the Section 7.3 cost accounting for a training budget;
-* ``search`` — a small end-to-end DLRM search (the quickstart).
+* ``search`` — a small end-to-end DLRM search (the quickstart);
+* ``perfmodel`` — two-phase performance-model training on a DLRM slice
+  (``--jobs`` parallelizes the simulator sweep).
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -127,6 +129,57 @@ def cmd_search(args: argparse.Namespace) -> str:
     return out
 
 
+def cmd_perfmodel(args: argparse.Namespace) -> str:
+    from .models import baseline_production_dlrm
+    from .models.timing import DlrmTimingHarness
+    from .perfmodel import (
+        ArchitectureEncoder,
+        PerformanceModel,
+        TwoPhaseConfig,
+        TwoPhaseTrainer,
+    )
+
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=args.tables, num_dense_stacks=2)
+    )
+    harness = DlrmTimingHarness(
+        baseline_production_dlrm(num_tables=args.tables), seed=args.seed
+    )
+    model = PerformanceModel(
+        ArchitectureEncoder(space),
+        hidden_sizes=(128, 128),
+        size_fn=harness.model_size,
+        seed=args.seed,
+    )
+    trainer = TwoPhaseTrainer(
+        model,
+        space,
+        simulate_fn=harness.simulate,
+        measure_fn=harness.measure,
+        config=TwoPhaseConfig(
+            pretrain_epochs=args.epochs,
+            finetune_epochs=100,
+            finetune_lr=5e-5,
+            num_workers=args.jobs,
+        ),
+        seed=args.seed,
+    )
+    pre_report = trainer.pretrain(args.samples)
+    pretrain_on_hw = trainer.evaluate(100, harness.measure_deterministic)
+    trainer.finetune(20)
+    finetuned_on_hw = trainer.evaluate(100, harness.measure_deterministic)
+    return format_table(
+        ["row", "value"],
+        [
+            ["simulator samples (jobs)", f"{args.samples} ({args.jobs})"],
+            ["NRMSE on pretraining samples", f"{pre_report.nrmse_train_head:.2%}"],
+            ["NRMSE of pretrained model on hw", f"{pretrain_on_hw[0]:.2%}"],
+            ["NRMSE of finetuned model on hw", f"{finetuned_on_hw[0]:.2%}"],
+            ["NRMSE of finetuned model on hw (serve)", f"{finetuned_on_hw[1]:.2%}"],
+        ],
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +215,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize candidate pricing by decision indices (--no-cache to disable)",
     )
     search.set_defaults(handler=cmd_search)
+
+    perfmodel = sub.add_parser(
+        "perfmodel", help="two-phase performance-model training (Table 1, small)"
+    )
+    perfmodel.add_argument("--samples", type=int, default=2000)
+    perfmodel.add_argument("--tables", type=int, default=4)
+    perfmodel.add_argument("--epochs", type=int, default=30)
+    perfmodel.add_argument("--seed", type=int, default=0)
+    perfmodel.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the simulator sweep (1 = serial; the "
+        "sweep is order-preserving, so results match at any count)",
+    )
+    perfmodel.set_defaults(handler=cmd_perfmodel)
     return parser
 
 

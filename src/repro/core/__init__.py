@@ -4,6 +4,7 @@ from .controller import BaselineTracker, CategoricalPolicy, ReinforceController
 from .cost import NasCostModel
 from .eval_runtime import (
     ArchMetricsCache,
+    BatchPerformanceFn,
     EvalRuntime,
     EvalRuntimeStats,
     MemoizedEvaluate,
@@ -46,17 +47,20 @@ from .search import (
     SingleStepSearch,
     StepRecord,
     TunasSearch,
+    group_unique_architectures,
 )
 
 __all__ = [
     "ArchMetricsCache",
     "BaselineTracker",
+    "BatchPerformanceFn",
     "CandidateRecord",
     "CategoricalPolicy",
     "EvalRuntime",
     "EvalRuntimeStats",
     "MemoizedEvaluate",
     "arch_key",
+    "group_unique_architectures",
     "EvolutionConfig",
     "EvolutionarySearch",
     "MultiTrialResult",

@@ -31,10 +31,13 @@ from typing import (
     Callable,
     Dict,
     Iterator,
+    List,
     Mapping,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
+    runtime_checkable,
 )
 
 from ..searchspace.base import Architecture, SearchSpace
@@ -44,6 +47,26 @@ ArchKey = Tuple[int, ...]
 
 #: Stage names the searches report wall time for, in pipeline order.
 STAGES = ("sample", "score", "price", "policy_update", "weight_update")
+
+
+@runtime_checkable
+class BatchPerformanceFn(Protocol):
+    """A performance function that can price a whole shard in one call.
+
+    A plain ``performance_fn`` maps one architecture to its metric
+    mapping.  Vectorized backends — an MLP performance model whose
+    forward pass batches trivially, a simulator pool — additionally
+    expose :meth:`price_batch`, and :meth:`EvalRuntime.price_many`
+    prices all cache misses of a shard through it in a single call
+    instead of one Python round-trip per candidate.  Functions without
+    ``price_batch`` fall back to per-architecture evaluation.
+    """
+
+    def __call__(self, arch: Architecture) -> Mapping[str, float]: ...
+
+    def price_batch(
+        self, archs: Sequence[Architecture]
+    ) -> Sequence[Mapping[str, float]]: ...
 
 
 def arch_key(indices: Sequence[int]) -> ArchKey:
@@ -111,14 +134,26 @@ class EvalRuntimeStats:
     cache_misses: int
     cache_entries: int
     cache_capacity: int
-    evaluations: int  #: actual ``performance_fn`` invocations
+    evaluations: int  #: candidates actually evaluated (not cache-answered)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     stage_calls: Dict[str, int] = field(default_factory=dict)
+    candidates_priced: int = 0  #: total price()/price_many() items served
 
     @property
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def price_throughput(self) -> float:
+        """Candidates priced per second of price-stage wall time."""
+        seconds = self.stage_seconds.get("price", 0.0)
+        return self.candidates_priced / seconds if seconds > 0 else 0.0
+
+    def stage_mean_seconds(self, stage: str) -> float:
+        """Mean wall time of one ``timed(stage)`` block."""
+        calls = self.stage_calls.get(stage, 0)
+        return self.stage_seconds.get(stage, 0.0) / calls if calls else 0.0
 
     def summary(self) -> str:
         """One-line human-readable view for reports and the CLI."""
@@ -129,8 +164,11 @@ class EvalRuntimeStats:
             )
         else:
             cache = f"cache off, {self.evaluations} evaluations"
+        if self.price_throughput > 0:
+            cache += f", {self.price_throughput:.0f} candidates/s priced"
         stages = ", ".join(
             f"{stage}={self.stage_seconds[stage] * 1e3:.1f}ms"
+            f" ({self.stage_mean_seconds(stage) * 1e3:.2f}ms/call)"
             for stage in STAGES
             if stage in self.stage_seconds
         )
@@ -141,8 +179,10 @@ class EvalRuntime:
     """Cached, instrumented gateway to a ``performance_fn``.
 
     Sits between the search algorithms and the performance signal.  All
-    pricing goes through :meth:`price`; searches wrap their stages in
-    :meth:`timed` so :meth:`stats` can report where wall time goes.
+    pricing goes through :meth:`price` (one candidate) or
+    :meth:`price_many` (a whole shard, batched); searches wrap their
+    stages in :meth:`timed` so :meth:`stats` can report where wall time
+    goes.
 
     One runtime may be shared across several searches (e.g. every sweep
     point of :func:`repro.core.pareto_search.trace_front`) so repeated
@@ -161,9 +201,43 @@ class EvalRuntime:
         self.cache: Optional[ArchMetricsCache] = (
             ArchMetricsCache(cache_capacity) if use_cache else None
         )
+        #: vectorized pricing entry point, when the fn offers one
+        #: (see :class:`BatchPerformanceFn`)
+        self.batch_fn: Optional[
+            Callable[[Sequence[Architecture]], Sequence[Mapping[str, float]]]
+        ] = getattr(performance_fn, "price_batch", None)
         self.evaluations = 0
+        self.candidates_priced = 0
         self._stage_seconds: Dict[str, float] = {}
         self._stage_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _key(
+        self, arch: Architecture, indices: Optional[Sequence[int]]
+    ) -> ArchKey:
+        if indices is None:
+            if self.space is None:
+                raise ValueError(
+                    "EvalRuntime needs either explicit indices or a search "
+                    "space to derive the cache key"
+                )
+            indices = self.space.indices_of(arch)
+        return arch_key(indices)
+
+    def _evaluate_batch(
+        self, archs: Sequence[Architecture]
+    ) -> List[Dict[str, float]]:
+        """Evaluate ``archs`` in one vectorized call when possible."""
+        self.evaluations += len(archs)
+        if self.batch_fn is not None:
+            metrics_list = [dict(m) for m in self.batch_fn(archs)]
+            if len(metrics_list) != len(archs):
+                raise ValueError(
+                    f"price_batch returned {len(metrics_list)} results for "
+                    f"{len(archs)} architectures"
+                )
+            return metrics_list
+        return [dict(self.performance_fn(a)) for a in archs]
 
     # ------------------------------------------------------------------
     def price(
@@ -175,17 +249,11 @@ class EvalRuntime:
         it avoids re-deriving the cache key (the searches already hold
         it).  Without it the runtime needs ``space`` to compute the key.
         """
+        self.candidates_priced += 1
         if self.cache is None:
             self.evaluations += 1
             return dict(self.performance_fn(arch))
-        if indices is None:
-            if self.space is None:
-                raise ValueError(
-                    "EvalRuntime needs either explicit indices or a search "
-                    "space to derive the cache key"
-                )
-            indices = self.space.indices_of(arch)
-        key = arch_key(indices)
+        key = self._key(arch, indices)
         cached = self.cache.get(key)
         if cached is not None:
             return dict(cached)
@@ -193,6 +261,54 @@ class EvalRuntime:
         metrics = dict(self.performance_fn(arch))
         self.cache.put(key, metrics)
         return dict(metrics)
+
+    def price_many(
+        self,
+        drawn: Sequence[Tuple[Architecture, Optional[Sequence[int]]]],
+    ) -> List[Dict[str, float]]:
+        """Price a whole shard of ``(arch, indices)`` pairs in one pass.
+
+        The shard is partitioned into cache hits and misses; all misses
+        are evaluated in *one* :class:`BatchPerformanceFn` call when the
+        performance function is batchable (falling back to per-arch
+        calls otherwise) and inserted into the cache in one pass.
+        Metrics, cache counters and cache contents match a sequential
+        ``[price(a, i) for a, i in drawn]`` loop exactly — a duplicate
+        of an in-shard miss counts as the hit it would have been once
+        the first occurrence had been priced.  (Only the LRU *recency*
+        order within one shard may differ; contents diverge only under
+        eviction pressure from a single shard.)
+        """
+        pairs = list(drawn)
+        self.candidates_priced += len(pairs)
+        if self.cache is None:
+            return self._evaluate_batch([arch for arch, _ in pairs])
+        results: List[Optional[Dict[str, float]]] = [None] * len(pairs)
+        #: first-seen order of in-shard misses: key -> shard positions
+        miss_positions: "OrderedDict[ArchKey, List[int]]" = OrderedDict()
+        miss_archs: List[Architecture] = []
+        for position, (arch, indices) in enumerate(pairs):
+            key = self._key(arch, indices)
+            if key in miss_positions:
+                # A sequential loop would have cached the first
+                # occurrence by now, so this one is a hit.
+                self.cache.hits += 1
+                miss_positions[key].append(position)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[position] = dict(cached)
+            else:
+                miss_positions[key] = [position]
+                miss_archs.append(arch)
+        if miss_archs:
+            for key, metrics in zip(
+                miss_positions, self._evaluate_batch(miss_archs)
+            ):
+                self.cache.put(key, metrics)
+                for position in miss_positions[key]:
+                    results[position] = dict(metrics)
+        return results  # type: ignore[return-value]  # all filled above
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -221,11 +337,13 @@ class EvalRuntime:
             evaluations=self.evaluations,
             stage_seconds=dict(self._stage_seconds),
             stage_calls=dict(self._stage_calls),
+            candidates_priced=self.candidates_priced,
         )
 
     def reset_counters(self) -> None:
         """Zero the instrumentation (cache contents are kept)."""
         self.evaluations = 0
+        self.candidates_priced = 0
         self._stage_seconds.clear()
         self._stage_calls.clear()
         if self.cache is not None:

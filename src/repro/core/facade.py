@@ -34,9 +34,10 @@ class H2ONas:
         performance_fn: PerformanceFn,
         objectives: Sequence[PerformanceObjective],
         reward_kind: str = "relu",
-        config: SearchConfig = SearchConfig(),
+        config: Optional[SearchConfig] = None,
         max_batches: Optional[int] = None,
     ):
+        config = config if config is not None else SearchConfig()
         self.space = space
         self.supernet = supernet
         self.pipeline = SingleStepPipeline(batch_source, max_batches=max_batches)

@@ -20,7 +20,7 @@ algorithm at hyperscale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -66,9 +66,10 @@ class DartsSearch:
         self,
         supernet: MixtureSuperNetwork,
         pipeline: TwoStreamPipeline,
-        config: DartsConfig = DartsConfig(),
+        config: Optional[DartsConfig] = None,
         seed: int = 0,
     ):
+        config = config if config is not None else DartsConfig()
         self.supernet = supernet
         self.pipeline = pipeline
         self.config = config

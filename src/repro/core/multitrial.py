@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Mapping, Tuple
+from typing import Callable, Deque, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -135,7 +135,7 @@ class EvolutionarySearch:
         space: SearchSpace,
         evaluate_fn: EvaluateFn,
         reward_fn: RewardFunction,
-        config: EvolutionConfig = EvolutionConfig(),
+        config: Optional[EvolutionConfig] = None,
         seed: int = 0,
         use_cache: bool = True,
         cache_size: int = 4096,
@@ -143,7 +143,7 @@ class EvolutionarySearch:
         self.space = space
         self.evaluate_fn = evaluate_fn
         self.reward_fn = reward_fn
-        self.config = config
+        self.config = config if config is not None else EvolutionConfig()
         self._rng = np.random.default_rng(seed)
         self._evaluate = (
             MemoizedEvaluate(space, evaluate_fn, cache_size) if use_cache else evaluate_fn

@@ -68,13 +68,15 @@ class FrontSearchConfig:
     beta: float = -3.0
     quality_weight: float = 2.0
     quality_noise: float = 0.01
-    search: SearchConfig = SearchConfig(
-        steps=300,
-        num_cores=8,
-        warmup_steps=10,
-        policy_lr=0.12,
-        policy_entropy_coef=0.15,
-        record_candidates=False,
+    search: SearchConfig = field(
+        default_factory=lambda: SearchConfig(
+            steps=300,
+            num_cores=8,
+            warmup_steps=10,
+            policy_lr=0.12,
+            policy_entropy_coef=0.15,
+            record_candidates=False,
+        )
     )
 
     def __post_init__(self) -> None:
@@ -90,7 +92,7 @@ def trace_front(
     space: SearchSpace,
     quality_fn: QualityFn,
     performance_fn: PerformanceFn,
-    config: FrontSearchConfig = FrontSearchConfig(),
+    config: Optional[FrontSearchConfig] = None,
     secondary_objectives: Sequence[PerformanceObjective] = (),
     baseline: Optional[Architecture] = None,
 ) -> FrontResult:
@@ -106,6 +108,7 @@ def trace_front(
     later searches are priced from the cache.  The sweep-wide counters
     land on ``FrontResult.eval_stats``.
     """
+    config = config if config is not None else FrontSearchConfig()
     baseline = baseline or space.default_architecture()
     runtime = EvalRuntime(
         performance_fn,
@@ -115,6 +118,7 @@ def trace_front(
     )
     base_value = runtime.price(baseline)[config.primary_metric]
     result = FrontResult(primary_metric=config.primary_metric)
+    finals: List[Architecture] = []
     for scale in config.target_scales:
         objectives = [
             PerformanceObjective(
@@ -135,12 +139,16 @@ def trace_front(
             config=config.search,
             eval_runtime=runtime,
         )
-        final = search.run().final_architecture
+        finals.append(search.run().final_architecture)
+    # Price all sweep winners in one batched call (usually cache hits —
+    # each winner was priced during its own search).
+    final_metrics = runtime.price_many([(arch, None) for arch in finals])
+    for scale, final, metrics in zip(config.target_scales, finals, final_metrics):
         result.points.append(
             FrontPoint(
                 architecture=final,
                 quality=quality_fn(final),
-                metrics=runtime.price(final),
+                metrics=metrics,
                 target_scale=scale,
             )
         )

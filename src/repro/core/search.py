@@ -20,19 +20,24 @@ and differ exactly where the paper says they differ:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from ..data.batch import Batch
 from ..data.pipeline import SingleStepPipeline, TwoStreamPipeline
 from ..nn import Adam, Optimizer
 from ..searchspace.base import Architecture, SearchSpace
 from .controller import ReinforceController
-from .eval_runtime import EvalRuntime, EvalRuntimeStats
+from .eval_runtime import ArchKey, EvalRuntime, EvalRuntimeStats, arch_key
 from .reward import RewardFunction
 
 PerformanceFn = Callable[[Architecture], Mapping[str, float]]
+
+#: One sampled candidate: (architecture, decision-index vector).
+DrawnCandidate = Tuple[Architecture, Sequence[int]]
 
 
 class SuperNetwork(Protocol):
@@ -45,6 +50,22 @@ class SuperNetwork(Protocol):
     def parameters(self): ...
 
     def zero_grad(self) -> None: ...
+
+
+def group_unique_architectures(
+    drawn: Sequence[DrawnCandidate],
+) -> List[List[int]]:
+    """Shard positions grouped by sampled architecture, first-seen order.
+
+    Late in a search the policy has converged and most of the
+    ``num_cores`` cores sample the *same* architecture; grouping them
+    lets the score and weight-update stages run one super-network pass
+    per unique architecture instead of one per core.
+    """
+    groups: "OrderedDict[ArchKey, List[int]]" = OrderedDict()
+    for position, (_, indices) in enumerate(drawn):
+        groups.setdefault(arch_key(indices), []).append(position)
+    return list(groups.values())
 
 
 @dataclass
@@ -107,6 +128,11 @@ class SearchConfig:
     seed: int = 0
     use_cache: bool = True  # memoize performance_fn by decision indices
     cache_size: int = 4096  # LRU capacity of the metrics cache
+    #: run one supernet pass per *unique* sampled architecture by
+    #: stacking same-arch core batches (needs a supernet with
+    #: quality_many/loss_many, e.g. via StackedScoringMixin; other
+    #: supernets keep the per-core path)
+    group_unique: bool = True
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.num_cores < 1:
@@ -127,9 +153,10 @@ class SingleStepSearch:
         pipeline: SingleStepPipeline,
         reward_fn: RewardFunction,
         performance_fn: PerformanceFn,
-        config: SearchConfig = SearchConfig(),
+        config: Optional[SearchConfig] = None,
         eval_runtime: Optional[EvalRuntime] = None,
     ):
+        config = config if config is not None else SearchConfig()
         self.space = space
         self.supernet = supernet
         self.pipeline = pipeline
@@ -161,6 +188,69 @@ class SingleStepSearch:
             eval_stats=self.runtime.stats(),
         )
 
+    # -- grouped shard execution ---------------------------------------
+    def _score_shard(
+        self,
+        drawn: Sequence[DrawnCandidate],
+        batches: Sequence[Batch],
+        groups: Optional[List[List[int]]],
+    ) -> List[float]:
+        """Per-core qualities; one stacked pass per unique architecture.
+
+        The grouped path needs a supernet exposing ``quality_many``
+        (e.g. through :class:`repro.supernet.StackedScoringMixin`);
+        otherwise every core scores its own batch, in core order, so
+        stochastic quality signals consume their rng streams exactly as
+        the sequential implementation did.
+        """
+        quality_many = getattr(self.supernet, "quality_many", None)
+        if groups is None or quality_many is None:
+            return [
+                self.supernet.quality(arch, batch.inputs, batch.labels)
+                for batch, (arch, _) in zip(batches, drawn)
+            ]
+        qualities: List[float] = [0.0] * len(drawn)
+        for positions in groups:
+            arch = drawn[positions[0]][0]
+            values = quality_many(
+                arch,
+                [batches[i].inputs for i in positions],
+                [batches[i].labels for i in positions],
+            )
+            for position, value in zip(positions, values):
+                qualities[position] = float(value)
+        return qualities
+
+    def _update_weights_on_shard(
+        self,
+        drawn: Sequence[DrawnCandidate],
+        batches: Sequence[Batch],
+        groups: Optional[List[List[int]]],
+    ) -> None:
+        """Accumulate the cross-shard weight gradient, grouped when possible.
+
+        The sequential path backprops ``loss_i / num_cores`` per core;
+        the grouped path backprops ``loss_many * (group_size /
+        num_cores)`` per unique architecture, where ``loss_many`` is the
+        mean of the group's per-batch losses — the same gradient, in
+        ``len(groups)`` supernet passes instead of ``num_cores``.
+        """
+        num_cores = self.config.num_cores
+        loss_many = getattr(self.supernet, "loss_many", None)
+        if groups is None or loss_many is None:
+            for batch, (arch, _) in zip(batches, drawn):
+                loss = self.supernet.loss(arch, batch.inputs, batch.labels)
+                (loss * (1.0 / num_cores)).backward()
+            return
+        for positions in groups:
+            arch = drawn[positions[0]][0]
+            loss = loss_many(
+                arch,
+                [batches[i].inputs for i in positions],
+                [batches[i].labels for i in positions],
+            )
+            (loss * (len(positions) / num_cores)).backward()
+
     def _step(self, step: int) -> StepRecord:
         cfg = self.config
         runtime = self.runtime
@@ -176,16 +266,19 @@ class SingleStepSearch:
                     drawn.append((arch, self.space.indices_of(arch)))
             else:
                 drawn = self.controller.sample_many(cfg.num_cores)
-        # Stage 2: score each candidate with the shared weights on its
-        # fresh batch (the policy consumes the batch first).
+        groups = group_unique_architectures(drawn) if cfg.group_unique else None
+        # Stage 2: score the shard with the shared weights on its fresh
+        # batches (the policy consumes the batches first) — one stacked
+        # pass per unique architecture when the supernet supports it.
         with runtime.timed("score"):
-            qualities = []
-            for batch, (arch, _) in zip(batches, drawn):
-                qualities.append(self.supernet.quality(arch, batch.inputs, batch.labels))
+            qualities = self._score_shard(drawn, batches, groups)
+            for batch in batches:
                 self.pipeline.mark_policy_use(batch)
-        # Stage 3: price the candidates through the memoized runtime.
+        # Stage 3: price the whole shard through the memoized runtime in
+        # one batched call (cache misses share one vectorized evaluation
+        # when the performance fn is batchable).
         with runtime.timed("price"):
-            all_metrics = [runtime.price(arch, indices) for arch, indices in drawn]
+            all_metrics = runtime.price_many(drawn)
         candidates: List[CandidateRecord] = []
         samples: List[Tuple[np.ndarray, float]] = []
         for (arch, indices), quality, metrics in zip(drawn, qualities, all_metrics):
@@ -199,9 +292,8 @@ class SingleStepSearch:
         # Stage 5: cross-shard weight update on the same batches.
         with runtime.timed("weight_update"):
             self.supernet.zero_grad()
-            for batch, (arch, _) in zip(batches, drawn):
-                loss = self.supernet.loss(arch, batch.inputs, batch.labels)
-                (loss * (1.0 / cfg.num_cores)).backward()
+            self._update_weights_on_shard(drawn, batches, groups)
+            for batch in batches:
                 self.pipeline.mark_weight_use(batch)
             self._optimizer.step()
         return StepRecord(
@@ -223,9 +315,10 @@ class TunasSearch:
         pipeline: TwoStreamPipeline,
         reward_fn: RewardFunction,
         performance_fn: PerformanceFn,
-        config: SearchConfig = SearchConfig(),
+        config: Optional[SearchConfig] = None,
         eval_runtime: Optional[EvalRuntime] = None,
     ):
+        config = config if config is not None else SearchConfig()
         self.space = space
         self.supernet = supernet
         self.pipeline = pipeline
@@ -282,7 +375,7 @@ class TunasSearch:
                 for cand, _ in drawn
             ]
         with runtime.timed("price"):
-            all_metrics = [runtime.price(cand, indices) for cand, indices in drawn]
+            all_metrics = runtime.price_many(drawn)
         candidates: List[CandidateRecord] = []
         samples: List[Tuple[np.ndarray, float]] = []
         for (cand, indices), quality, metrics in zip(drawn, qualities, all_metrics):

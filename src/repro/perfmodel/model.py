@@ -13,7 +13,7 @@ errors Table 1 reports correspond to additive errors in log space.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -74,14 +74,35 @@ class PerformanceModel:
         and, when a size function was provided, ``model_size`` in bytes
         (computed analytically, exactly as the paper's size head).
         """
-        log_times = self.predict_log_times([arch])[0]
-        metrics = {
-            "train_step_time": float(np.exp(log_times[HEAD_TRAIN])),
-            "serving_latency": float(np.exp(log_times[HEAD_SERVE])),
-        }
-        if self.size_fn is not None:
-            metrics["model_size"] = float(self.size_fn(arch))
-        return metrics
+        return self.predict_many([arch])[0]
+
+    def predict_many(
+        self, archs: Sequence[Architecture]
+    ) -> List[Dict[str, float]]:
+        """Metric mappings for a whole shard, from one MLP forward.
+
+        All architectures are encoded in one ``encode_batch`` and priced
+        in a single forward pass — the O(ms)-per-shard pricing the
+        search hot path relies on.  Per-arch output matches
+        :meth:`predict`.
+        """
+        log_times = self.predict_log_times(archs)
+        results: List[Dict[str, float]] = []
+        for arch, row in zip(archs, log_times):
+            metrics = {
+                "train_step_time": float(np.exp(row[HEAD_TRAIN])),
+                "serving_latency": float(np.exp(row[HEAD_SERVE])),
+            }
+            if self.size_fn is not None:
+                metrics["model_size"] = float(self.size_fn(arch))
+            results.append(metrics)
+        return results
+
+    # The model itself is a BatchPerformanceFn: pass it as a search's
+    # ``performance_fn`` and the evaluation runtime prices every cache
+    # miss of a shard through one batched forward.
+    __call__ = predict
+    price_batch = predict_many
 
     def predict_times(self, archs: Sequence[Architecture]) -> np.ndarray:
         """Vectorized ``(batch, 2)`` matrix of (train, serve) seconds."""

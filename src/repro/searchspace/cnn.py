@@ -16,7 +16,7 @@ EfficientNet-X family in the paper) and list the zero delta first so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .base import Decision, SearchSpace
 
@@ -81,8 +81,9 @@ def block_decisions(block: int) -> List[Decision]:
     ]
 
 
-def cnn_search_space(config: CnnSpaceConfig = CnnSpaceConfig()) -> SearchSpace:
+def cnn_search_space(config: Optional[CnnSpaceConfig] = None) -> SearchSpace:
     """Build the convolutional search space of Table 5."""
+    config = config if config is not None else CnnSpaceConfig()
     decisions: List[Decision] = []
     for block in range(config.num_blocks):
         decisions.extend(block_decisions(block))

@@ -16,7 +16,7 @@ and 10 dense stacks of ``7 x 10 x 10`` choices — the cardinality is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .base import Decision, SearchSpace
 
@@ -76,8 +76,9 @@ def stack_decisions(stack: int) -> List[Decision]:
     ]
 
 
-def dlrm_search_space(config: DlrmSpaceConfig = DlrmSpaceConfig()) -> SearchSpace:
+def dlrm_search_space(config: Optional[DlrmSpaceConfig] = None) -> SearchSpace:
     """Build the DLRM search space of Table 5."""
+    config = config if config is not None else DlrmSpaceConfig()
     decisions: List[Decision] = []
     for table in range(config.num_tables):
         decisions.extend(table_decisions(table, config.search_vocab))

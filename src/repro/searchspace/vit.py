@@ -17,7 +17,7 @@ reaching ``O(10^21)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .base import Decision, SearchSpace
 from .cnn import block_decisions as cnn_block_decisions
@@ -79,8 +79,9 @@ def tfm_block_decisions(block: int) -> List[Decision]:
     ]
 
 
-def vit_search_space(config: VitSpaceConfig = VitSpaceConfig()) -> SearchSpace:
+def vit_search_space(config: Optional[VitSpaceConfig] = None) -> SearchSpace:
     """Build the transformer-only or hybrid ViT search space."""
+    config = config if config is not None else VitSpaceConfig()
     decisions: List[Decision] = []
     for block in range(config.num_tfm_blocks):
         decisions.extend(tfm_block_decisions(block))

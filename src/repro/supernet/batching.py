@@ -1,0 +1,110 @@
+"""Stacked scoring: one supernet pass over several same-arch batches.
+
+In the single-step search every parallel core draws its own fresh batch
+and samples its own candidate.  Once the policy converges, most cores
+sample the *same* architecture, yet the sequential path still runs one
+forward (and one backward) per core.  Since a forward pass is row-wise
+in the batch dimension, cores that share an architecture can stack
+their batches and run **one** pass over the concatenation:
+
+* per-core qualities are recovered by slicing the stacked logits back
+  into per-batch spans — exactly the per-batch metric;
+* the stacked mean loss equals the mean of the per-batch mean losses
+  whenever the batches are the same size (the single-step pipeline's
+  normal case), so one backward scaled by the group size reproduces the
+  per-core accumulation.
+
+:class:`StackedScoringMixin` adds this capability to any supernet whose
+``forward(arch, inputs)`` consumes a dict of equally-indexed input
+arrays; the subnet supplies its per-batch quality metric through
+:meth:`StackedScoringMixin.quality_from_logits`.  Supernets without the
+mixin simply keep the per-core path — the search falls back
+transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..nn import Tensor
+from ..searchspace.base import Architecture
+
+NamedInputs = Dict[str, np.ndarray]
+
+
+def stack_named_inputs(inputs_seq: Sequence[NamedInputs]) -> NamedInputs:
+    """Concatenate same-keyed input dicts along the example axis."""
+    if not inputs_seq:
+        raise ValueError("need at least one batch to stack")
+    keys = inputs_seq[0].keys()
+    for inputs in inputs_seq[1:]:
+        if inputs.keys() != keys:
+            raise ValueError("all stacked batches must share input names")
+    return {
+        key: np.concatenate([inputs[key] for inputs in inputs_seq], axis=0)
+        for key in keys
+    }
+
+
+class StackedScoringMixin:
+    """Batched ``quality_many`` / ``loss_many`` over one architecture.
+
+    Hosts must provide ``forward(arch, inputs) -> Tensor`` of per-example
+    logits, ``loss(arch, inputs, labels) -> Tensor`` (a *mean* over the
+    batch), and :meth:`quality_from_logits`.
+    """
+
+    def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
+        """Per-batch quality metric from already-computed logits."""
+        raise NotImplementedError
+
+    def quality_many(
+        self,
+        arch: Architecture,
+        inputs_seq: Sequence[NamedInputs],
+        labels_seq: Sequence[np.ndarray],
+    ) -> List[float]:
+        """Per-batch qualities of ``arch`` from one stacked forward."""
+        if len(inputs_seq) != len(labels_seq):
+            raise ValueError("inputs and labels sequences must align")
+        if len(inputs_seq) == 1:
+            return [self.quality(arch, inputs_seq[0], labels_seq[0])]
+        logits = self.forward(arch, stack_named_inputs(inputs_seq))
+        qualities: List[float] = []
+        start = 0
+        for labels in labels_seq:
+            end = start + int(np.asarray(labels).shape[0])
+            qualities.append(
+                self.quality_from_logits(Tensor(logits.data[start:end]), labels)
+            )
+            start = end
+        return qualities
+
+    def loss_many(
+        self,
+        arch: Architecture,
+        inputs_seq: Sequence[NamedInputs],
+        labels_seq: Sequence[np.ndarray],
+    ) -> Tensor:
+        """Mean of the per-batch mean losses, as one stacked pass.
+
+        Batches of unequal size cannot share a stacked mean (it would
+        weight examples, not batches), so they fall back to per-batch
+        passes combined into the same mean.
+        """
+        if len(inputs_seq) != len(labels_seq):
+            raise ValueError("inputs and labels sequences must align")
+        if len(inputs_seq) == 1:
+            return self.loss(arch, inputs_seq[0], labels_seq[0])
+        sizes = {int(np.asarray(labels).shape[0]) for labels in labels_seq}
+        if len(sizes) == 1:
+            stacked_labels = np.concatenate(
+                [np.asarray(labels) for labels in labels_seq], axis=0
+            )
+            return self.loss(arch, stack_named_inputs(inputs_seq), stacked_labels)
+        total = self.loss(arch, inputs_seq[0], labels_seq[0])
+        for inputs, labels in zip(inputs_seq[1:], labels_seq[1:]):
+            total = total + self.loss(arch, inputs, labels)
+        return total * (1.0 / len(inputs_seq))

@@ -23,7 +23,7 @@ counts) and CTR batches from :mod:`repro.data`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from ..searchspace.dlrm import (
     DENSE_DEPTH_DELTAS,
     DENSE_WIDTH_DELTAS,
 )
+from .batching import StackedScoringMixin
 
 #: Width quantum of embedding and MLP width deltas ("minimal increment of 8").
 WIDTH_INCREMENT = 8
@@ -167,11 +168,11 @@ class _MlpStack(Module):
         return x
 
 
-class DlrmSuperNetwork(Module):
+class DlrmSuperNetwork(StackedScoringMixin, Module):
     """The hybrid fine/coarse weight-sharing DLRM super-network."""
 
-    def __init__(self, config: DlrmSupernetConfig = DlrmSupernetConfig()):
-        self.config = config
+    def __init__(self, config: Optional[DlrmSupernetConfig] = None):
+        self.config = config = config or DlrmSupernetConfig()
         rng = np.random.default_rng(config.seed)
         # Coarse-grained over vocab: one table per (table, vocab-scale);
         # fine-grained over width inside each table.  In the "fine"
@@ -272,6 +273,9 @@ class DlrmSuperNetwork(Module):
     def quality(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> float:
         """Label accuracy of ``arch`` on one batch (the quality signal Q)."""
         return binary_accuracy(self.forward(arch, inputs), labels)
+
+    def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
+        return binary_accuracy(logits, labels)
 
     # ------------------------------------------------------------------
     def _stack_width(self, arch: Architecture, prefix: str, base: int) -> int:

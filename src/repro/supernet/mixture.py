@@ -18,7 +18,7 @@ width and activation decisions can be evaluated either
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from ..nn import (
     softmax_cross_entropy,
 )
 from ..searchspace.base import Architecture, Decision, SearchSpace
+from .batching import StackedScoringMixin
 
 
 @dataclass(frozen=True)
@@ -75,11 +76,11 @@ def mixture_search_space(config: MixtureSupernetConfig) -> SearchSpace:
     return SearchSpace("mixture_mlp", decisions)
 
 
-class MixtureSuperNetwork(Module):
+class MixtureSuperNetwork(StackedScoringMixin, Module):
     """MLP with per-layer width/activation choices, discrete or mixed."""
 
-    def __init__(self, config: MixtureSupernetConfig = MixtureSupernetConfig()):
-        self.config = config
+    def __init__(self, config: Optional[MixtureSupernetConfig] = None):
+        self.config = config = config or MixtureSupernetConfig()
         rng = np.random.default_rng(config.seed)
         width = config.max_width
         self.layers: List[MaskedDense] = []
@@ -111,6 +112,9 @@ class MixtureSuperNetwork(Module):
 
     def quality(self, arch, inputs, labels) -> float:
         return accuracy(self.forward(arch, inputs), labels)
+
+    def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
+        return accuracy(logits, labels)
 
     # ------------------------------------------------------------------
     # Mixture (gradient-based / DARTS) path

@@ -21,7 +21,7 @@ real attention network over synthetic sequence traffic:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -149,8 +149,8 @@ def _slice_last(tensor: Tensor, start: int, stop: int, active: int) -> Tensor:
 class TransformerSuperNetwork(Module):
     """Proxy super-network consuming ViT-space architectures."""
 
-    def __init__(self, config: TransformerSupernetConfig = TransformerSupernetConfig()):
-        self.config = config
+    def __init__(self, config: Optional[TransformerSupernetConfig] = None):
+        self.config = config = config or TransformerSupernetConfig()
         rng = np.random.default_rng(config.seed)
         width = config.max_width
         self.embed = Dense(config.num_features, width, rng, activation_name="linear")

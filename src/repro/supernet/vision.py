@@ -17,7 +17,7 @@ super-network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from ..nn import (
 )
 from ..searchspace.base import Architecture
 from ..searchspace.cnn import DEPTH_DELTAS, EXPANSION_RATIOS, WIDTH_DELTAS
+from .batching import StackedScoringMixin
 
 #: Width quantum of the proxy (channels per width-delta unit).
 WIDTH_INCREMENT = 4
@@ -127,11 +128,11 @@ class _ProxyBlock(Module):
         return x
 
 
-class VisionSuperNetwork(Module):
+class VisionSuperNetwork(StackedScoringMixin, Module):
     """Proxy super-network consuming CNN-space architectures."""
 
-    def __init__(self, config: VisionSupernetConfig = VisionSupernetConfig()):
-        self.config = config
+    def __init__(self, config: Optional[VisionSupernetConfig] = None):
+        self.config = config = config or VisionSupernetConfig()
         rng = np.random.default_rng(config.seed)
         self.stem = Dense(config.num_features, config.max_width, rng, activation_name="relu")
         self.blocks = [
@@ -166,3 +167,6 @@ class VisionSuperNetwork(Module):
     def quality(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> float:
         """Top-1 accuracy of ``arch`` on one batch (the quality signal Q)."""
         return accuracy(self.forward(arch, inputs), labels)
+
+    def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
+        return accuracy(logits, labels)

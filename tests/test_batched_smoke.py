@@ -1,0 +1,32 @@
+"""Tiny end-to-end smoke run of the batched-execution benchmark paths.
+
+Runs ``benchmarks/bench_batched_exec.py``'s measurement functions at a
+configuration small enough for the tier-1 budget, asserting structure
+(not speedups — those belong to the full benchmark run, which needs
+realistic sizes to be meaningful).  Nothing is written under
+``benchmarks/results/``.
+"""
+
+import pytest
+
+from benchmarks.bench_batched_exec import run_grouping, run_pricing
+
+pytestmark = pytest.mark.slow
+
+
+def test_pricing_smoke():
+    pricing = run_pricing(shard_candidates=32)
+    assert pricing["shard_candidates"] == 32
+    assert pricing["batched_throughput"] > 0
+    assert pricing["sequential_throughput"] > 0
+    assert pricing["speedup"] > 0
+
+
+def test_grouping_smoke():
+    grouping = run_grouping(steps=4, cores=4)
+    assert grouping["grouped_supernet_seconds"] > 0
+    assert grouping["ungrouped_supernet_seconds"] > 0
+    # run_grouping already asserted the two trajectories agree.
+    assert set(grouping["grouped_stage_seconds"]) == set(
+        grouping["ungrouped_stage_seconds"]
+    )
