@@ -97,10 +97,8 @@ def cmd_cost(args: argparse.Namespace) -> str:
     )
 
 
-def cmd_search(args: argparse.Namespace) -> str:
-    num_tables = 2
-    space = dlrm_search_space(DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2))
-    teacher = CtrTeacher(CtrTaskConfig(num_tables=num_tables, batch_size=64, seed=args.seed))
+def _dlrm_step_time(num_tables: int):
+    """Synthetic step-time pricing for the quickstart DLRM search."""
 
     def step_time(arch):
         cost = 1.0
@@ -111,21 +109,101 @@ def cmd_search(args: argparse.Namespace) -> str:
             cost += 0.04 * arch[f"dense{s}/width_delta"]
         return {"step_time": max(0.1, cost)}
 
-    nas = H2ONas(
-        space=space,
-        supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=num_tables, seed=args.seed)),
-        batch_source=teacher.next_batch,
-        performance_fn=step_time,
-        objectives=[PerformanceObjective("step_time", 1.0, beta=-0.5)],
-        config=SearchConfig(
-            steps=args.steps, num_cores=4, warmup_steps=10, seed=args.seed,
-            use_cache=args.cache,
-        ),
+    return step_time
+
+
+def _dlrm_search_builder(steps: int, seed: int, use_cache: bool):
+    """The quickstart DLRM search as (space, fresh-``H2ONas`` factory).
+
+    A *factory* rather than an instance because the supervisor rebuilds
+    the search from scratch on every restart attempt.
+    """
+    num_tables = 2
+    space = dlrm_search_space(DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2))
+
+    def factory() -> H2ONas:
+        teacher = CtrTeacher(
+            CtrTaskConfig(num_tables=num_tables, batch_size=64, seed=seed)
+        )
+        return H2ONas(
+            space=space,
+            supernet=DlrmSuperNetwork(
+                DlrmSupernetConfig(num_tables=num_tables, seed=seed)
+            ),
+            batch_source=teacher.next_batch,
+            performance_fn=_dlrm_step_time(num_tables),
+            objectives=[PerformanceObjective("step_time", 1.0, beta=-0.5)],
+            config=SearchConfig(
+                steps=steps, num_cores=4, warmup_steps=10, seed=seed,
+                use_cache=use_cache,
+            ),
+        )
+
+    return space, factory
+
+
+def cmd_search(args: argparse.Namespace) -> str:
+    space, factory = _dlrm_search_builder(args.steps, args.seed, args.cache)
+    nas = factory()
+    result = nas.search(
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
-    result = nas.search()
     out = format_report(space, result)
     if result.eval_stats is not None:
         out += f"\neval runtime: {result.eval_stats.summary()}"
+    return out
+
+
+def cmd_supervise(args: argparse.Namespace) -> str:
+    from .runtime import (
+        CheckpointStore,
+        FaultInjector,
+        FaultSpec,
+        SearchSupervisor,
+        SupervisorConfig,
+    )
+
+    space, factory = _dlrm_search_builder(args.steps, args.seed, args.cache)
+    store = CheckpointStore(args.checkpoint_dir, keep_last=args.keep_last)
+    injector = None
+    if args.inject_crash_at:
+        injector = FaultInjector(
+            [FaultSpec("crash", step=k) for k in args.inject_crash_at],
+            seed=args.seed,
+        )
+    supervisor = SearchSupervisor(
+        lambda: factory().search_algorithm,
+        store,
+        config=SupervisorConfig(
+            checkpoint_every=args.checkpoint_every,
+            max_restarts=args.max_restarts,
+            backoff_base_s=args.backoff_base_s,
+        ),
+        injector=injector,
+    )
+    supervised = supervisor.run()
+    out = format_report(space, supervised.result)
+    out += "\n" + format_table(
+        ["attempt", "start step", "steps", "outcome", "backoff s"],
+        [
+            [
+                a.attempt,
+                "-" if a.start_step is None else a.start_step,
+                a.steps_completed,
+                a.outcome if a.error is None else f"{a.outcome}: {a.error}",
+                f"{a.backoff_s:.2f}",
+            ]
+            for a in supervised.attempts
+        ],
+    )
+    out += (
+        f"\nrestarts: {supervised.restarts}"
+        f"  heartbeats: {supervised.heartbeats}"
+        f"  steps replayed: {supervised.steps_replayed}"
+        f"  snapshots (final attempt): {supervised.snapshots_written}"
+    )
     return out
 
 
@@ -206,15 +284,73 @@ def build_parser() -> argparse.ArgumentParser:
     cost.set_defaults(handler=cmd_cost)
 
     search = sub.add_parser("search", help="small end-to-end DLRM search")
-    search.add_argument("--steps", type=int, default=60)
-    search.add_argument("--seed", type=int, default=0)
+
+    def add_search_args(p, checkpoint_dir_required: bool) -> None:
+        p.add_argument("--steps", type=int, default=60)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="memoize candidate pricing by decision indices (--no-cache to disable)",
+        )
+        p.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            required=checkpoint_dir_required,
+            help="snapshot full search state into this directory",
+        )
+        p.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=10,
+            help="steps between snapshots",
+        )
+        p.add_argument(
+            "--keep-last",
+            type=int,
+            default=3,
+            help="snapshots retained in the checkpoint directory",
+        )
+
+    add_search_args(search, checkpoint_dir_required=False)
     search.add_argument(
-        "--cache",
+        "--resume",
         action=argparse.BooleanOptionalAction,
         default=True,
-        help="memoize candidate pricing by decision indices (--no-cache to disable)",
+        help="resume from the newest good snapshot in --checkpoint-dir",
     )
     search.set_defaults(handler=cmd_search)
+
+    search_sub = search.add_subparsers(dest="search_command")
+    supervise = search_sub.add_parser(
+        "supervise",
+        help="run the search under the fault-tolerant supervisor "
+        "(bounded restarts, resume from checkpoints)",
+    )
+    add_search_args(supervise, checkpoint_dir_required=True)
+    supervise.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="restart budget before giving up",
+    )
+    supervise.add_argument(
+        "--backoff-base-s",
+        type=float,
+        default=0.05,
+        help="base of the exponential restart backoff",
+    )
+    supervise.add_argument(
+        "--inject-crash-at",
+        type=int,
+        nargs="*",
+        default=[],
+        metavar="STEP",
+        help="inject a deterministic crash before each listed step "
+        "(fault-tolerance demo)",
+    )
+    supervise.set_defaults(handler=cmd_supervise)
 
     perfmodel = sub.add_parser(
         "perfmodel", help="two-phase performance-model training (Table 1, small)"

@@ -86,6 +86,21 @@ class CategoricalPolicy:
         indices = [int(np.argmax(logit)) for logit in self.logits]
         return self.space.architecture_from_indices(indices)
 
+    def state_dict(self) -> dict:
+        """Copies of the per-decision logit vectors."""
+        return {"logits": [logit.copy() for logit in self.logits]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        logits = state["logits"]
+        if len(logits) != len(self.logits):
+            raise ValueError("policy state comes from a different search space")
+        for mine, saved in zip(self.logits, logits):
+            saved = np.asarray(saved, dtype=mine.dtype)
+            if saved.shape != mine.shape:
+                raise ValueError("policy state comes from a different search space")
+            mine[:] = saved
+
     # ------------------------------------------------------------------
     def reinforce_update(
         self,
@@ -200,6 +215,26 @@ class ReinforceController:
 
     def entropy(self) -> float:
         return self.policy.entropy()
+
+    def state_dict(self) -> dict:
+        """Full controller state: policy logits, baseline, rng stream.
+
+        The rng bit-generator state is included so a restored controller
+        continues sampling the *same* stream — the property the
+        checkpoint subsystem needs for crash-identical resume.
+        """
+        return {
+            "policy": self.policy.state_dict(),
+            "baseline_value": self.baseline.value,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self.policy.load_state_dict(state["policy"])
+        value = state["baseline_value"]
+        self.baseline.value = None if value is None else float(value)
+        self._rng.bit_generator.state = state["rng"]
 
     def warm_start(self, policy: CategoricalPolicy) -> None:
         """Resume from a previously trained policy (same search space).

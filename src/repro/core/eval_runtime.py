@@ -124,6 +124,26 @@ class ArchMetricsCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def export_state(self) -> dict:
+        """JSON-ready snapshot: counters plus entries in LRU order."""
+        return {
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": [[list(key), value] for key, value in self._entries.items()],
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output (contents and counters)."""
+        self.capacity = int(state["capacity"])
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.evictions = int(state["evictions"])
+        self._entries = OrderedDict(
+            (arch_key(key), value) for key, value in state["entries"]
+        )
+
 
 @dataclass
 class EvalRuntimeStats:
@@ -340,6 +360,41 @@ class EvalRuntime:
             candidates_priced=self.candidates_priced,
         )
 
+    def export_state(self) -> dict:
+        """Checkpoint-ready snapshot of cache contents and instrumentation.
+
+        Wall-time accumulators are included so a resumed run's stage
+        report continues from the snapshot rather than restarting at
+        zero; they are the one part of the state that is *not* expected
+        to be bit-identical across a crash/resume cycle.
+        """
+        return {
+            "cache": self.cache.export_state() if self.cache is not None else None,
+            "evaluations": self.evaluations,
+            "candidates_priced": self.candidates_priced,
+            "stage_seconds": dict(self._stage_seconds),
+            "stage_calls": dict(self._stage_calls),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output in place."""
+        cache_state = state["cache"]
+        if (cache_state is None) != (self.cache is None):
+            raise ValueError(
+                "checkpoint cache state does not match this runtime's "
+                "use_cache setting"
+            )
+        if self.cache is not None and cache_state is not None:
+            self.cache.import_state(cache_state)
+        self.evaluations = int(state["evaluations"])
+        self.candidates_priced = int(state["candidates_priced"])
+        self._stage_seconds = {
+            stage: float(v) for stage, v in state["stage_seconds"].items()
+        }
+        self._stage_calls = {
+            stage: int(v) for stage, v in state["stage_calls"].items()
+        }
+
     def reset_counters(self) -> None:
         """Zero the instrumentation (cache contents are kept)."""
         self.evaluations = 0
@@ -378,3 +433,21 @@ class MemoizedEvaluate:
         result = self.evaluate_fn(arch)
         self.cache.put(key, result)
         return result
+
+    def export_state(self) -> dict:
+        """Checkpoint-ready snapshot ((quality, metrics) pairs as lists)."""
+        state = self.cache.export_state()
+        state["entries"] = [
+            [key, [quality, dict(metrics)]]
+            for key, (quality, metrics) in state["entries"]
+        ]
+        return state
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output in place."""
+        state = dict(state)
+        state["entries"] = [
+            [key, (float(quality), dict(metrics))]
+            for key, (quality, metrics) in state["entries"]
+        ]
+        self.cache.import_state(state)

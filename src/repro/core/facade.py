@@ -57,13 +57,36 @@ class H2ONas:
         #: controlled by ``config.use_cache`` / ``config.cache_size``.
         self.eval_runtime = self.search_algorithm.runtime
 
-    def search(self) -> SearchResult:
+    def search(
+        self,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 10,
+        resume: bool = True,
+        keep_last: int = 3,
+    ) -> SearchResult:
         """Run the search and return the Pareto-optimized architecture.
 
         The returned ``SearchResult.eval_stats`` reports cache hit rate
         and per-stage wall time for the run.
+
+        With a ``checkpoint_dir`` the search snapshots its full state
+        every ``checkpoint_every`` steps (see :mod:`repro.runtime`) and,
+        when ``resume`` is set, restores from the newest good snapshot
+        before running — a resumed search is bit-identical to an
+        uninterrupted one.
         """
-        return self.search_algorithm.run()
+        if checkpoint_dir is None:
+            return self.search_algorithm.run()
+        from ..runtime import CheckpointStore, run_with_checkpoints
+
+        store = CheckpointStore(checkpoint_dir, keep_last=keep_last)
+        run = run_with_checkpoints(
+            self.search_algorithm,
+            store=store,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+        return run.result
 
     def evaluate(self, arch: Architecture, batch: Batch) -> float:
         """Quality of ``arch`` on a held-out batch (post-search check)."""

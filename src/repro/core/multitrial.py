@@ -28,6 +28,25 @@ from .reward import RewardFunction
 EvaluateFn = Callable[[Architecture], Tuple[float, Mapping[str, float]]]
 
 
+def _encode_trial(space: SearchSpace, trial: "Trial") -> dict:
+    """A trial as plain data (the architecture becomes its index vector)."""
+    return {
+        "indices": [int(i) for i in space.indices_of(trial.architecture)],
+        "quality": float(trial.quality),
+        "metrics": {k: float(v) for k, v in trial.metrics.items()},
+        "reward": float(trial.reward),
+    }
+
+
+def _decode_trial(space: SearchSpace, payload: Mapping) -> "Trial":
+    return Trial(
+        architecture=space.architecture_from_indices(payload["indices"]),
+        quality=float(payload["quality"]),
+        metrics={k: float(v) for k, v in payload["metrics"].items()},
+        reward=float(payload["reward"]),
+    )
+
+
 @dataclass
 class Trial:
     """One completed independent trial."""
@@ -63,7 +82,96 @@ class MultiTrialResult:
         return np.maximum.accumulate(self.rewards())
 
 
-class RandomSearch:
+class _ResumableTrialLoop:
+    """Shared stepwise/checkpoint machinery of the multi-trial searches.
+
+    Trials accumulate on ``self.trials``; ``step()`` runs one trial, so
+    the driver (``run`` here, or an external supervisor) can snapshot at
+    any trial boundary.  The rng and the memoized-evaluation cache are
+    part of the state, so a resumed search replays the remaining trials
+    bit-identically.
+    """
+
+    def _target_trials(self) -> int:
+        raise NotImplementedError
+
+    def step(self) -> Trial:
+        raise NotImplementedError
+
+    def run(self, store=None, checkpoint_every: int = 25, resume: bool = True) -> MultiTrialResult:
+        """Run to the trial budget, optionally checkpointing to ``store``."""
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        target = self._target_trials()
+        if store is not None and resume:
+            from ..runtime.checkpoint import CheckpointError
+            from ..runtime.recovery import resume_latest
+
+            loaded = resume_latest(store)
+            if loaded is not None:
+                algorithm = loaded.state.get("algorithm")
+                if algorithm != type(self).__name__:
+                    raise CheckpointError(
+                        f"checkpoint was taken by {algorithm!r}, cannot "
+                        f"restore into {type(self).__name__}"
+                    )
+                self.load_state_dict(loaded.state["search"])
+        while len(self.trials) < target:
+            self.step()
+            done = len(self.trials)
+            if store is not None and done % checkpoint_every == 0 and done < target:
+                store.save(done, self._checkpoint_payload())
+        return self.build_result()
+
+    def build_result(self) -> MultiTrialResult:
+        return _result(list(self.trials), self._evaluate)
+
+    def _checkpoint_payload(self) -> dict:
+        from ..runtime.checkpoint import CHECKPOINT_FORMAT
+
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "algorithm": type(self).__name__,
+            "search": self.state_dict(),
+        }
+
+    def state_dict(self) -> dict:
+        state = {
+            "rng": self._rng.bit_generator.state,
+            "trials": [_encode_trial(self.space, t) for t in self.trials],
+            "evaluate": (
+                self._evaluate.export_state()
+                if isinstance(self._evaluate, MemoizedEvaluate)
+                else None
+            ),
+        }
+        state.update(self._extra_state())
+        return state
+
+    def load_state_dict(self, state: Mapping) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self.trials = [_decode_trial(self.space, t) for t in state["trials"]]
+        if state["evaluate"] is not None:
+            if not isinstance(self._evaluate, MemoizedEvaluate):
+                raise ValueError(
+                    "checkpoint carries an evaluation cache but this search "
+                    "runs with use_cache=False"
+                )
+            self._evaluate.import_state(state["evaluate"])
+        self._load_extra_state(state)
+
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _load_extra_state(self, state: Mapping) -> None:
+        del state
+
+    def _trial(self, arch: Architecture) -> Trial:
+        quality, metrics = self._evaluate(arch)
+        return Trial(arch, quality, metrics, self.reward_fn(quality, metrics))
+
+
+class RandomSearch(_ResumableTrialLoop):
     """Uniformly sample candidates; keep the best reward."""
 
     def __init__(
@@ -82,18 +190,19 @@ class RandomSearch:
         self.evaluate_fn = evaluate_fn
         self.reward_fn = reward_fn
         self.num_trials = num_trials
+        self.trials: List[Trial] = []
         self._rng = np.random.default_rng(seed)
         self._evaluate = (
             MemoizedEvaluate(space, evaluate_fn, cache_size) if use_cache else evaluate_fn
         )
 
-    def run(self) -> MultiTrialResult:
-        trials = [self._trial(self.space.sample(self._rng)) for _ in range(self.num_trials)]
-        return _result(trials, self._evaluate)
+    def _target_trials(self) -> int:
+        return self.num_trials
 
-    def _trial(self, arch: Architecture) -> Trial:
-        quality, metrics = self._evaluate(arch)
-        return Trial(arch, quality, metrics, self.reward_fn(quality, metrics))
+    def step(self) -> Trial:
+        trial = self._trial(self.space.sample(self._rng))
+        self.trials.append(trial)
+        return trial
 
 
 @dataclass(frozen=True)
@@ -127,8 +236,13 @@ def _result(trials: List[Trial], evaluate: EvaluateFn) -> MultiTrialResult:
     )
 
 
-class EvolutionarySearch:
-    """Aging evolution: tournament parent selection, mutate, drop oldest."""
+class EvolutionarySearch(_ResumableTrialLoop):
+    """Aging evolution: tournament parent selection, mutate, drop oldest.
+
+    The population is tracked as a deque of *trial indices* so it
+    serializes alongside the trial log; one ``step()`` either seeds a
+    random founder or runs one tournament/mutate/evaluate/age-out cycle.
+    """
 
     def __init__(
         self,
@@ -144,33 +258,39 @@ class EvolutionarySearch:
         self.evaluate_fn = evaluate_fn
         self.reward_fn = reward_fn
         self.config = config if config is not None else EvolutionConfig()
+        self.trials: List[Trial] = []
+        self._population: Deque[int] = deque()
         self._rng = np.random.default_rng(seed)
         self._evaluate = (
             MemoizedEvaluate(space, evaluate_fn, cache_size) if use_cache else evaluate_fn
         )
 
-    def run(self) -> MultiTrialResult:
+    def _target_trials(self) -> int:
+        return self.config.num_trials
+
+    def step(self) -> Trial:
         cfg = self.config
-        trials: List[Trial] = []
-        population: Deque[Trial] = deque()
-        # Seed the population with random candidates.
-        for _ in range(cfg.population_size):
+        if len(self.trials) < cfg.population_size:
+            # Still seeding the population with random founders.
             trial = self._trial(self.space.sample(self._rng))
-            trials.append(trial)
-            population.append(trial)
-        # Evolve: tournament -> mutate -> evaluate -> age out the oldest.
-        while len(trials) < cfg.num_trials:
+        else:
             contestants = [
-                population[int(self._rng.integers(len(population)))]
+                self.trials[self._population[int(self._rng.integers(len(self._population)))]]
                 for _ in range(cfg.tournament_size)
             ]
             parent = max(contestants, key=lambda t: t.reward)
-            child_arch = self.mutate(parent.architecture)
-            child = self._trial(child_arch)
-            trials.append(child)
-            population.append(child)
-            population.popleft()
-        return _result(trials, self._evaluate)
+            trial = self._trial(self.mutate(parent.architecture))
+        self._population.append(len(self.trials))
+        self.trials.append(trial)
+        if len(self._population) > cfg.population_size:
+            self._population.popleft()
+        return trial
+
+    def _extra_state(self) -> dict:
+        return {"population": [int(i) for i in self._population]}
+
+    def _load_extra_state(self, state: Mapping) -> None:
+        self._population = deque(int(i) for i in state["population"])
 
     def mutate(self, arch: Architecture) -> Architecture:
         """Re-roll ``mutations_per_child`` random decisions to new values."""

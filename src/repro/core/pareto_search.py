@@ -95,6 +95,7 @@ def trace_front(
     config: Optional[FrontSearchConfig] = None,
     secondary_objectives: Sequence[PerformanceObjective] = (),
     baseline: Optional[Architecture] = None,
+    checkpoint_store=None,
 ) -> FrontResult:
     """Sweep the primary target and collect one searched model per setting.
 
@@ -107,6 +108,11 @@ def trace_front(
     signal does not depend on the target, so candidates revisited by
     later searches are priced from the cache.  The sweep-wide counters
     land on ``FrontResult.eval_stats``.
+
+    With a ``checkpoint_store`` (:class:`repro.runtime.CheckpointStore`)
+    the sweep snapshots after every completed target — each point's
+    search is seeded identically, so resuming at a point boundary yields
+    the same front an uninterrupted sweep produces.
     """
     config = config if config is not None else FrontSearchConfig()
     baseline = baseline or space.default_architecture()
@@ -119,7 +125,28 @@ def trace_front(
     base_value = runtime.price(baseline)[config.primary_metric]
     result = FrontResult(primary_metric=config.primary_metric)
     finals: List[Architecture] = []
-    for scale in config.target_scales:
+    start_index = 0
+    if checkpoint_store is not None:
+        from ..runtime.checkpoint import CHECKPOINT_FORMAT, CheckpointError
+        from ..runtime.recovery import resume_latest
+
+        loaded = resume_latest(checkpoint_store)
+        if loaded is not None:
+            state = loaded.state
+            if state.get("algorithm") != "trace_front":
+                raise CheckpointError(
+                    f"checkpoint was taken by {state.get('algorithm')!r}, "
+                    "cannot restore into trace_front"
+                )
+            start_index = int(state["next_scale_index"])
+            finals = [
+                space.architecture_from_indices(indices)
+                for indices in state["finals"]
+            ]
+            runtime.import_state(state["runtime"])
+    scales = list(config.target_scales)
+    for index in range(start_index, len(scales)):
+        scale = scales[index]
         objectives = [
             PerformanceObjective(
                 config.primary_metric, base_value * scale, beta=config.beta
@@ -140,6 +167,19 @@ def trace_front(
             eval_runtime=runtime,
         )
         finals.append(search.run().final_architecture)
+        if checkpoint_store is not None and index + 1 < len(scales):
+            checkpoint_store.save(
+                index + 1,
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "algorithm": "trace_front",
+                    "next_scale_index": index + 1,
+                    "finals": [
+                        [int(i) for i in space.indices_of(arch)] for arch in finals
+                    ],
+                    "runtime": runtime.export_state(),
+                },
+            )
     # Price all sweep winners in one batched call (usually cache hits —
     # each winner was priced during its own search).
     final_metrics = runtime.price_many([(arch, None) for arch in finals])

@@ -180,13 +180,45 @@ class SingleStepSearch:
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
-        history = [self._step(step) for step in range(self.config.steps)]
+        history = [self.step(step) for step in range(self.config.steps)]
+        return self.build_result(history)
+
+    # -- stepwise driver protocol (checkpointed execution) --------------
+    def step(self, step: int) -> StepRecord:
+        """Run one search step; the unit the supervisor checkpoints at."""
+        return self._step(step)
+
+    def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
+        """Assemble the result from externally-driven step records."""
         return SearchResult(
             final_architecture=self.controller.best_architecture(),
-            history=history,
+            history=list(history),
             batches_used=self.pipeline.batches_issued,
             eval_stats=self.runtime.stats(),
         )
+
+    def state_dict(self) -> dict:
+        """Everything this search mutates, for bit-identical resume."""
+        from ..runtime.checkpoint import supernet_state
+
+        return {
+            "controller": self.controller.state_dict(),
+            "optimizer": self._optimizer.state_dict(),
+            "supernet": supernet_state(self.supernet),
+            "warmup_rng": self._warmup_rng.bit_generator.state,
+            "pipeline": self.pipeline.state_dict(),
+            "runtime": self.runtime.export_state(),
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        from ..runtime.checkpoint import restore_supernet_state
+
+        self.controller.load_state_dict(state["controller"])
+        self._optimizer.load_state_dict(state["optimizer"])
+        restore_supernet_state(self.supernet, state["supernet"])
+        self._warmup_rng.bit_generator.state = state["warmup_rng"]
+        self.pipeline.load_state_dict(state["pipeline"])
+        self.runtime.import_state(state["runtime"])
 
     # -- grouped shard execution ---------------------------------------
     def _score_shard(
@@ -341,14 +373,45 @@ class TunasSearch:
         self._warmup_rng = np.random.default_rng(config.seed + 1)
 
     def run(self) -> SearchResult:
-        history = [self._step(step) for step in range(self.config.steps)]
-        batches = self.pipeline.train_size + self.pipeline.valid_size
+        history = [self.step(step) for step in range(self.config.steps)]
+        return self.build_result(history)
+
+    # -- stepwise driver protocol (checkpointed execution) --------------
+    def step(self, step: int) -> StepRecord:
+        """Run one search step; the unit the supervisor checkpoints at."""
+        return self._step(step)
+
+    def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
+        """Assemble the result from externally-driven step records."""
         return SearchResult(
             final_architecture=self.controller.best_architecture(),
-            history=history,
-            batches_used=batches,
+            history=list(history),
+            batches_used=self.pipeline.train_size + self.pipeline.valid_size,
             eval_stats=self.runtime.stats(),
         )
+
+    def state_dict(self) -> dict:
+        """Everything this search mutates, for bit-identical resume."""
+        from ..runtime.checkpoint import supernet_state
+
+        return {
+            "controller": self.controller.state_dict(),
+            "optimizer": self._optimizer.state_dict(),
+            "supernet": supernet_state(self.supernet),
+            "warmup_rng": self._warmup_rng.bit_generator.state,
+            "pipeline": self.pipeline.state_dict(),
+            "runtime": self.runtime.export_state(),
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        from ..runtime.checkpoint import restore_supernet_state
+
+        self.controller.load_state_dict(state["controller"])
+        self._optimizer.load_state_dict(state["optimizer"])
+        restore_supernet_state(self.supernet, state["supernet"])
+        self._warmup_rng.bit_generator.state = state["warmup_rng"]
+        self.pipeline.load_state_dict(state["pipeline"])
+        self.runtime.import_state(state["runtime"])
 
     def _step(self, step: int) -> StepRecord:
         cfg = self.config

@@ -8,6 +8,7 @@ JSON/NPZ so a deployment can resume or ship them.
 
 from __future__ import annotations
 
+import io
 import json
 import pathlib
 from typing import Union
@@ -15,6 +16,7 @@ from typing import Union
 import numpy as np
 
 from ..perfmodel.model import PerformanceModel
+from ..runtime.atomic import atomic_write_bytes, atomic_write_json
 from ..searchspace.base import SearchSpace
 from .controller import CategoricalPolicy
 
@@ -60,8 +62,8 @@ def policy_from_dict(space: SearchSpace, payload: dict) -> CategoricalPolicy:
 
 
 def save_policy(policy: CategoricalPolicy, path: PathLike) -> None:
-    """Write a policy snapshot as JSON."""
-    pathlib.Path(path).write_text(json.dumps(policy_to_dict(policy)))
+    """Write a policy snapshot as JSON (atomically: temp file + rename)."""
+    atomic_write_json(path, policy_to_dict(policy))
 
 
 def load_policy(space: SearchSpace, path: PathLike) -> CategoricalPolicy:
@@ -70,7 +72,12 @@ def load_policy(space: SearchSpace, path: PathLike) -> CategoricalPolicy:
 
 
 def save_performance_model(model: PerformanceModel, path: PathLike) -> None:
-    """Persist a performance model's weights and normalization as NPZ."""
+    """Persist a performance model's weights and normalization as NPZ.
+
+    Written atomically so a crash mid-save never leaves a truncated
+    model file behind (the NPZ is staged in memory, then temp file +
+    rename).  Like ``np.savez``, a missing ``.npz`` suffix is appended.
+    """
     arrays = {
         "version": np.array(_PERF_MODEL_VERSION),
         "log_mean": model.log_mean,
@@ -78,7 +85,12 @@ def save_performance_model(model: PerformanceModel, path: PathLike) -> None:
     }
     for i, param in enumerate(model.parameters()):
         arrays[f"param_{i}"] = param.data
-    np.savez(pathlib.Path(path), **arrays)
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_performance_model(model: PerformanceModel, path: PathLike) -> PerformanceModel:

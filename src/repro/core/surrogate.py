@@ -52,3 +52,18 @@ class SurrogateSuperNetwork:
 
     def zero_grad(self) -> None:
         self._dummy.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Dummy parameter plus the observation-noise rng stream.
+
+        The rng state matters for checkpointing: a resumed search must
+        see the same noisy quality draws an uninterrupted run would.
+        """
+        return {
+            "dummy": self._dummy.data.copy(),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._dummy.data[:] = np.asarray(state["dummy"])
+        self._rng.bit_generator.state = state["rng"]

@@ -26,6 +26,42 @@ from .batch import Batch
 BatchSource = Callable[[], Batch]
 
 
+def _source_owner(source: BatchSource) -> object:
+    """The stateful object behind a batch source callable.
+
+    Sources are usually bound methods (``teacher.next_batch``); the
+    owning instance is what carries the rng/cursor state a checkpoint
+    must capture.  Bare callables are their own owner.
+    """
+    return getattr(source, "__self__", source)
+
+
+def capture_source_state(source: BatchSource) -> Optional[dict]:
+    """Snapshot the source's state via its ``state_dict``, if it has one."""
+    owner = _source_owner(source)
+    state_dict = getattr(owner, "state_dict", None)
+    return state_dict() if callable(state_dict) else None
+
+
+def restore_source_state(source: BatchSource, state: Optional[dict]) -> None:
+    """Restore a :func:`capture_source_state` snapshot into the source.
+
+    A snapshot taken from a stateful source can only be restored into a
+    source that knows how to load it — silently skipping would break the
+    bit-identical resume guarantee, so that case raises.
+    """
+    if state is None:
+        return
+    owner = _source_owner(source)
+    load = getattr(owner, "load_state_dict", None)
+    if not callable(load):
+        raise PipelineProtocolError(
+            f"checkpoint carries batch-source state but {type(owner).__name__} "
+            "has no load_state_dict to restore it into"
+        )
+    load(state)
+
+
 class PipelineProtocolError(RuntimeError):
     """Raised when a consumer violates the single-use/ordering protocol."""
 
@@ -77,6 +113,15 @@ class SingleStepPipeline:
 
     def exhausted(self) -> bool:
         return self._max_batches is not None and self._issued >= self._max_batches
+
+    def force_exhaust(self) -> None:
+        """Cut the stream off now: the next fetch raises.
+
+        Models an upstream feed drying up mid-search; the fault-injection
+        harness (:mod:`repro.runtime.faults`) uses it to simulate an
+        exhausted data pipeline.
+        """
+        self._max_batches = self._issued
 
     def next_batch(self) -> Batch:
         """Fetch the next fresh batch from the stream."""
@@ -141,6 +186,32 @@ class SingleStepPipeline:
         # Fully consumed: drop all record of the data (in-memory only).
         del self._outstanding[batch.batch_id]
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpoint-ready snapshot of counters plus the source's state.
+
+        Outstanding-batch records are stored as ``[batch_id, state]``
+        pairs (searches checkpoint at step boundaries, where the list is
+        empty, but the snapshot is faithful either way).  The batch data
+        itself is never persisted — production traffic must not touch
+        disk; a resumed run re-draws from the restored source stream.
+        """
+        return {
+            "issued": self._issued,
+            "id_watermark": self._id_watermark,
+            "peak_outstanding": self._peak_outstanding,
+            "outstanding": [[bid, st] for bid, st in self._outstanding.items()],
+            "source": capture_source_state(self._source),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self._issued = int(state["issued"])
+        self._id_watermark = int(state["id_watermark"])
+        self._peak_outstanding = int(state["peak_outstanding"])
+        self._outstanding = {int(bid): str(st) for bid, st in state["outstanding"]}
+        restore_source_state(self._source, state["source"])
+
 
 class TwoStreamPipeline:
     """Finite train/validation streams with reuse (the research regime)."""
@@ -185,3 +256,34 @@ class TwoStreamPipeline:
     @property
     def valid_size(self) -> int:
         return len(self._valid)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cursor/reuse snapshot.
+
+        The split batches themselves are drawn once at construction from
+        a (seeded) source, so a resumed run rebuilds identical splits by
+        reconstructing the pipeline and only needs the cursors restored.
+        """
+        return {
+            "train_cursor": self._train_cursor,
+            "valid_cursor": self._valid_cursor,
+            "train_reuses": self.train_reuses,
+            "valid_reuses": self.valid_reuses,
+            "train_size": len(self._train),
+            "valid_size": len(self._valid),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        if (
+            int(state["train_size"]) != len(self._train)
+            or int(state["valid_size"]) != len(self._valid)
+        ):
+            raise PipelineProtocolError(
+                "checkpoint was taken with different train/valid split sizes"
+            )
+        self._train_cursor = int(state["train_cursor"])
+        self._valid_cursor = int(state["valid_cursor"])
+        self.train_reuses = int(state["train_reuses"])
+        self.valid_reuses = int(state["valid_reuses"])

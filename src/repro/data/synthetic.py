@@ -19,6 +19,23 @@ import numpy as np
 from .batch import Batch
 
 
+class ResumableSource:
+    """Checkpoint support for seeded batch streams.
+
+    Teachers derive every batch from ``self._rng`` and number them with
+    ``self._next_id``; capturing the bit-generator state and the counter
+    is therefore enough to resume the stream bit-identically after a
+    crash (the teacher weights are reconstructed from the config seed).
+    """
+
+    def state_dict(self) -> dict:
+        return {"rng": self._rng.bit_generator.state, "next_id": self._next_id}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self._next_id = int(state["next_id"])
+
+
 @dataclass(frozen=True)
 class CtrTaskConfig:
     """Synthetic click-through-rate (DLRM) task.
@@ -40,7 +57,7 @@ class CtrTaskConfig:
     seed: int = 0
 
 
-class CtrTeacher:
+class CtrTeacher(ResumableSource):
     """Generates CTR batches with planted memorization/generalization signal."""
 
     def __init__(self, config: CtrTaskConfig):
@@ -100,7 +117,7 @@ class SequenceTaskConfig:
     seed: int = 0
 
 
-class SequenceTeacher:
+class SequenceTeacher(ResumableSource):
     """Generates sequence batches from a fixed cross-position teacher."""
 
     def __init__(self, config: SequenceTaskConfig):
@@ -146,7 +163,7 @@ class LmTaskConfig:
     seed: int = 0
 
 
-class LmTeacher:
+class LmTeacher(ResumableSource):
     """Generates per-position-labelled sequences from a bigram teacher."""
 
     def __init__(self, config: LmTaskConfig):
@@ -186,6 +203,12 @@ class NullSource:
     def __init__(self):
         self._next_id = 0
 
+    def state_dict(self) -> dict:
+        return {"next_id": self._next_id}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._next_id = int(state["next_id"])
+
     def next_batch(self) -> Batch:
         batch = Batch(batch_id=self._next_id, inputs={}, labels=np.zeros(1))
         self._next_id += 1
@@ -210,7 +233,7 @@ class VisionTaskConfig:
     seed: int = 0
 
 
-class VisionTeacher:
+class VisionTeacher(ResumableSource):
     """Generates classification batches from a fixed nonlinear teacher."""
 
     def __init__(self, config: VisionTaskConfig):

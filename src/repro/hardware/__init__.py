@@ -18,7 +18,14 @@ from .serving import (
     optimize_serving_throughput,
 )
 from .simulator import OpTiming, PerformanceSimulator, SimulationResult, simulate
-from .testbed import HardwareTestbed, TestbedCalibration
+from .testbed import (
+    HardwareTestbed,
+    Measurement,
+    MeasurementError,
+    MeasurementPolicy,
+    MeasurementTimeout,
+    TestbedCalibration,
+)
 from .whatif import (
     ResourceSensitivity,
     bottleneck,
@@ -33,6 +40,10 @@ __all__ = [
     "allreduce_time",
     "HardwareConfig",
     "HardwareTestbed",
+    "Measurement",
+    "MeasurementError",
+    "MeasurementPolicy",
+    "MeasurementTimeout",
     "OpTiming",
     "PLATFORMS",
     "PerformanceSimulator",

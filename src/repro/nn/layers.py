@@ -17,7 +17,8 @@ super-networks (Section 5) and of the MLP performance model
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -79,6 +80,38 @@ class Module:
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copies of all parameter arrays, keyed by traversal index.
+
+        Traversal order is deterministic (attribute insertion order), so
+        the same module class always produces the same keys — the
+        contract :meth:`load_state_dict` and the checkpoint subsystem
+        (:mod:`repro.runtime`) rely on.
+        """
+        return OrderedDict(
+            (f"param_{i}", param.data.copy())
+            for i, param in enumerate(self.parameters())
+        )
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        """Restore parameters in place from :meth:`state_dict` output."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} parameters, module has {len(params)}"
+            )
+        for i, param in enumerate(params):
+            key = f"param_{i}"
+            if key not in state:
+                raise ValueError(f"state missing {key!r}")
+            value = np.asarray(state[key])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"{key}: shape {value.shape} does not match parameter "
+                    f"{param.data.shape} (different architecture?)"
+                )
+            param.data[:] = value
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -25,6 +25,39 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Internal optimizer state, aligned to the parameter list order.
+
+        Moments are stored per parameter *index* (not ``id()``), so the
+        state survives process boundaries as long as the restored
+        optimizer holds the same parameters in the same order — the
+        contract the checkpoint subsystem (:mod:`repro.runtime`) uses
+        for crash-identical resume.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        if state:
+            raise ValueError(f"stateless optimizer got state keys {sorted(state)}")
+
+    def _aligned(self, per_id: Dict[int, np.ndarray]) -> List[Optional[np.ndarray]]:
+        """Per-id slot arrays re-keyed to parameter positions."""
+        return [per_id.get(id(p)) for p in self.params]
+
+    def _check_slots(self, slots: List[Optional[np.ndarray]], name: str) -> None:
+        if len(slots) != len(self.params):
+            raise ValueError(
+                f"{name}: state has {len(slots)} slots for {len(self.params)} "
+                "parameters"
+            )
+        for slot, param in zip(slots, self.params):
+            if slot is not None and np.shape(slot) != param.data.shape:
+                raise ValueError(
+                    f"{name}: slot shape {np.shape(slot)} does not match "
+                    f"parameter {param.data.shape}"
+                )
+
     def clip_gradients(self, max_norm: float) -> float:
         """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
@@ -65,6 +98,20 @@ class SGD(Optimizer):
             else:
                 param.data -= self.lr * param.grad
 
+    def state_dict(self) -> dict:
+        return {"velocity": [
+            None if v is None else v.copy() for v in self._aligned(self._velocity)
+        ]}
+
+    def load_state_dict(self, state: dict) -> None:
+        slots = state["velocity"]
+        self._check_slots(slots, "velocity")
+        self._velocity = {
+            id(p): np.array(v, dtype=p.data.dtype)
+            for p, v in zip(self.params, slots)
+            if v is not None
+        }
+
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba) with bias correction."""
@@ -102,3 +149,26 @@ class Adam(Optimizer):
             m_hat = m / (1 - self.beta1**self._t)
             v_hat = v / (1 - self.beta2**self._t)
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self._t,
+            "m": [None if m is None else m.copy() for m in self._aligned(self._m)],
+            "v": [None if v is None else v.copy() for v in self._aligned(self._v)],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        m_slots, v_slots = state["m"], state["v"]
+        self._check_slots(m_slots, "m")
+        self._check_slots(v_slots, "v")
+        self._t = int(state["t"])
+        self._m = {
+            id(p): np.array(m, dtype=p.data.dtype)
+            for p, m in zip(self.params, m_slots)
+            if m is not None
+        }
+        self._v = {
+            id(p): np.array(v, dtype=p.data.dtype)
+            for p, v in zip(self.params, v_slots)
+            if v is not None
+        }

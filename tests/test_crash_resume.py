@@ -1,0 +1,190 @@
+"""Crash/resume bit-identity: the fault-tolerant runtime's core property.
+
+A search killed at step ``k`` — at a checkpoint boundary, between
+snapshots, or mid-shard while cores are still scoring candidates — and
+resumed from the newest snapshot must produce a ``SearchResult``
+bit-identical to an uninterrupted run: same per-step rewards and
+entropies, same final architecture, same cache counters, same batch
+accounting.  (Wall-clock stage timings are the one excluded field.)
+Checked for both search strategies, and end-to-end through the
+supervisor with three crashes injected into a single run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PerformanceObjective,
+    SearchConfig,
+    SingleStepSearch,
+    TunasSearch,
+    relu_reward,
+)
+from repro.data import CtrTaskConfig, CtrTeacher, SingleStepPipeline, TwoStreamPipeline
+from repro.runtime import (
+    CheckpointStore,
+    FaultInjector,
+    FaultSpec,
+    SearchSupervisor,
+    SupervisorConfig,
+    resume_search,
+    search_checkpoint_payload,
+)
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
+
+NUM_TABLES = 2
+STEPS = 10
+
+
+def build_space():
+    return dlrm_search_space(DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2))
+
+
+def capacity_cost(arch):
+    cost = 1.0
+    for t in range(NUM_TABLES):
+        cost += 0.05 * arch[f"emb{t}/width_delta"]
+        cost += 0.2 * (arch[f"emb{t}/vocab_scale"] - 1.0)
+    for s in range(2):
+        cost += 0.04 * arch[f"dense{s}/width_delta"]
+    return {"step_time": max(0.1, cost), "model_size": max(0.1, cost)}
+
+
+def build_single(seed=0):
+    teacher = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed))
+    return SingleStepSearch(
+        space=build_space(),
+        supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES, seed=seed)),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+        performance_fn=capacity_cost,
+        config=SearchConfig(steps=STEPS, num_cores=2, warmup_steps=3, seed=seed),
+    )
+
+
+def build_tunas(seed=0):
+    teacher = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed))
+    return TunasSearch(
+        space=build_space(),
+        supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES, seed=seed)),
+        pipeline=TwoStreamPipeline(teacher.next_batch, train_batches=6, valid_batches=4),
+        reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+        performance_fn=capacity_cost,
+        config=SearchConfig(steps=STEPS, num_cores=2, warmup_steps=3, seed=seed),
+    )
+
+
+BUILDERS = {"single_step": build_single, "tunas": build_tunas}
+
+
+def assert_results_identical(reference, resumed, space):
+    """Bit-identical SearchResults (stage wall-times excluded)."""
+    np.testing.assert_array_equal(reference.rewards(), resumed.rewards())
+    np.testing.assert_array_equal(reference.entropies(), resumed.entropies())
+    assert list(space.indices_of(reference.final_architecture)) == list(
+        space.indices_of(resumed.final_architecture)
+    )
+    assert reference.batches_used == resumed.batches_used
+    assert reference.eval_stats.cache_hits == resumed.eval_stats.cache_hits
+    assert reference.eval_stats.cache_misses == resumed.eval_stats.cache_misses
+
+
+class TestKillAndResume:
+    """Manual kill at step k, snapshot-every-step, resume in a fresh process."""
+
+    # k=4 lands exactly on a checkpoint_every=2 boundary; k=5 is
+    # mid-interval (resume replays one step); k=7 crosses warmup history.
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    @pytest.mark.parametrize("kill_at", [4, 5, 7])
+    def test_resume_bit_identical(self, tmp_path, strategy, kill_at):
+        build = BUILDERS[strategy]
+        reference = build().run()
+
+        store = CheckpointStore(tmp_path, keep_last=2)
+        dying = build()
+        history = []
+        for step in range(kill_at):
+            history.append(dying.step(step))
+            store.save(step + 1, search_checkpoint_payload(dying, step + 1, history))
+        del dying  # the "process" is gone; only the store survives
+
+        fresh = build()
+        next_step, history, report = resume_search(store, fresh)
+        assert report.resumed and next_step == kill_at
+        for step in range(next_step, fresh.config.steps):
+            history.append(fresh.step(step))
+        resumed = fresh.build_result(history)
+        assert_results_identical(reference, resumed, fresh.space)
+
+
+class TestSupervisedCrashResume:
+    """The acceptance property: supervisor + injected crashes end to end."""
+
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    def test_three_crash_points_still_bit_identical(self, tmp_path, strategy):
+        build = BUILDERS[strategy]
+        reference = build().run()
+
+        # Three distinct crash points: before the first snapshot exists
+        # (restart from scratch), at a snapshot boundary, and mid-run.
+        injector = FaultInjector(
+            [
+                FaultSpec("crash", step=1),
+                FaultSpec("crash", step=4),
+                FaultSpec("crash", step=7),
+            ]
+        )
+        supervisor = SearchSupervisor(
+            build,
+            CheckpointStore(tmp_path, keep_last=3),
+            SupervisorConfig(checkpoint_every=2, max_restarts=5, backoff_base_s=0.0),
+            injector=injector,
+            sleep_fn=lambda s: None,
+        )
+        outcome = supervisor.run()
+        assert outcome.restarts == 3
+        assert [f.step for f in injector.fired] == [1, 4, 7]
+        assert_results_identical(reference, outcome.result, build().space)
+
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    def test_mid_shard_crash_bit_identical(self, tmp_path, strategy):
+        """Death while cores are mid-scoring, not between steps."""
+        build = BUILDERS[strategy]
+        reference = build().run()
+
+        injector = FaultInjector(
+            [FaultSpec("crash", step=5, phase="mid", mid_after_calls=1)]
+        )
+        supervisor = SearchSupervisor(
+            build,
+            CheckpointStore(tmp_path),
+            SupervisorConfig(checkpoint_every=2, max_restarts=3, backoff_base_s=0.0),
+            injector=injector,
+            sleep_fn=lambda s: None,
+        )
+        outcome = supervisor.run()
+        assert outcome.restarts == 1
+        assert [f.step for f in injector.fired] == [5]
+        # The half-scored step rolled back to the step-4 snapshot and
+        # was replayed in full by the second attempt.
+        assert outcome.steps_replayed == 1
+        assert_results_identical(reference, outcome.result, build().space)
+
+    def test_after_phase_crash_bit_identical(self, tmp_path):
+        """Step completes, worker dies before the next snapshot lands."""
+        build = build_single
+        reference = build().run()
+        injector = FaultInjector([FaultSpec("crash", step=6, phase="after")])
+        supervisor = SearchSupervisor(
+            build,
+            CheckpointStore(tmp_path),
+            SupervisorConfig(checkpoint_every=3, max_restarts=3, backoff_base_s=0.0),
+            injector=injector,
+            sleep_fn=lambda s: None,
+        )
+        outcome = supervisor.run()
+        assert outcome.restarts == 1
+        # Step 6 completed but its work died with the process; the
+        # newest snapshot (6 completed steps) replays it exactly.
+        assert_results_identical(reference, outcome.result, build().space)
