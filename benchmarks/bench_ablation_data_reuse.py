@@ -25,7 +25,7 @@ from repro.nn import Adam
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 2
 STEPS = 500
@@ -89,6 +89,7 @@ def run():
         ],
     )
     emit("ablation_data_reuse", table)
+    emit_json("ablation_data_reuse", {"results": results})
     return results
 
 

@@ -24,7 +24,7 @@ from repro.perfmodel import (
 )
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 4
 PRETRAIN_SAMPLES = 3000
@@ -65,6 +65,7 @@ def run():
         [[count, f"{value:.2%}"] for count, value in curve.items()],
     )
     emit("ablation_finetune", table)
+    emit_json("ablation_finetune", {"curve": curve})
     return curve
 
 

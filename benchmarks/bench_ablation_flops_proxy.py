@@ -32,7 +32,7 @@ from repro.perfmodel import (
 )
 from repro.searchspace import CnnSpaceConfig, cnn_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_BLOCKS = 3
 NUM_EVAL = 300
@@ -83,6 +83,7 @@ def run():
     )
     table += "\n(paper: FLOPs proxies show >400% correlation error; Section 6.2)"
     emit("ablation_flops_proxy", table)
+    emit_json("ablation_flops_proxy", {"reports": reports})
     return reports
 
 

@@ -18,7 +18,7 @@ from repro.hardware import TPU_V4, simulate
 from repro.models import COATNET, EFFICIENTNET_X, baseline_production_dlrm
 from repro.models import coatnet, dlrm, efficientnet
 
-from .common import emit
+from .common import emit, emit_json
 
 
 def family_graphs():
@@ -57,6 +57,7 @@ def run():
         ],
     )
     emit("ablation_fusion", table)
+    emit_json("ablation_fusion", {"stats": stats})
     return stats
 
 

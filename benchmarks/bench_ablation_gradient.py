@@ -41,7 +41,7 @@ from repro.supernet import (
     mixture_search_space,
 )
 
-from .common import emit
+from .common import emit, emit_json
 
 STEPS = 150
 NET_CONFIG = MixtureSupernetConfig(num_layers=2, num_features=16, num_classes=4)
@@ -117,6 +117,7 @@ def run():
         ],
     )
     emit("ablation_gradient", table)
+    emit_json("ablation_gradient", {"stats": stats})
     return stats
 
 

@@ -30,7 +30,7 @@ from repro.models.timing import DlrmTimingHarness
 from repro.quality import DlrmQualityModel
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 3
 NUM_CANDIDATES = 400
@@ -127,6 +127,7 @@ def run():
         rows,
     )
     emit("ablation_objectives", table)
+    emit_json("ablation_objectives", {"outcomes": outcomes})
     return outcomes
 
 

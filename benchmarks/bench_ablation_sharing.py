@@ -31,7 +31,7 @@ from repro.nn import Adam
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 2
 STEPS = 800
@@ -116,6 +116,7 @@ def run():
         ],
     )
     emit("ablation_sharing", table)
+    emit_json("ablation_sharing", {"structure": structure, "means": means})
     return structure, means
 
 

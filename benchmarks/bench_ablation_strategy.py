@@ -40,7 +40,7 @@ from repro.models.timing import DlrmTimingHarness
 from repro.quality import DlrmQualityModel
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 3
 EVALUATION_BUDGET = 1600
@@ -143,6 +143,7 @@ def run():
         ],
     )
     emit("ablation_strategy", table)
+    emit_json("ablation_strategy", {"results": results, "cost": cost})
     return results, cost
 
 

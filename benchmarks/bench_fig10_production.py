@@ -39,7 +39,7 @@ from repro.models.timing import DlrmTimingHarness
 from repro.quality import DlrmQualityModel, coatnet_quality
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 CV_BATCH = 32
 QUALITY_WEIGHT = 4.0
@@ -163,6 +163,7 @@ def run():
         f" (paper 1.22x), {np.mean([g['quality_gain'] for g in dlrm_gains]):+.3f}pp quality (paper +0.12pp)"
     )
     emit("fig10_production", table)
+    emit_json("fig10_production", {"results": results})
     return results
 
 

@@ -29,7 +29,7 @@ from repro.data import CtrTaskConfig, CtrTeacher, SingleStepPipeline, TwoStreamP
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 2
 STEPS = 150
@@ -120,6 +120,7 @@ def run():
         ],
     )
     emit("fig2_algorithm", table)
+    emit_json("fig2_algorithm", {"stats": stats})
     return stats
 
 

@@ -14,7 +14,7 @@ from repro.analysis import format_table
 from repro.hardware import TPU_V4I, roofline_point, simulate
 from repro.models import MbconvSpec, single_block_graph
 
-from .common import emit
+from .common import emit, emit_json
 
 DEPTHS = (16, 32, 64, 96, 128, 192, 256)
 RESOLUTION = 56
@@ -48,6 +48,7 @@ def run():
         ],
     )
     emit("fig4_roofline", table)
+    emit_json("fig4_roofline", {"rows": rows})
     return {r["block"]: r for r in rows}
 
 

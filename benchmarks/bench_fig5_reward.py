@@ -36,7 +36,7 @@ from repro.models.timing import DlrmTimingHarness
 from repro.quality import DlrmQualityModel
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 4
 TIME_TARGETS = (0.75, 0.9, 1.0, 1.25, 1.5)
@@ -175,6 +175,7 @@ def run():
         y_label="quality",
     )
     emit("fig5_reward", table)
+    emit_json("fig5_reward", {"stats": stats})
     return stats
 
 

@@ -15,7 +15,7 @@ from repro.models import COATNET, COATNET_H
 from repro.models.coatnet import build_graph
 from repro.quality import coatnet_quality
 
-from .common import emit
+from .common import emit, emit_json
 
 BATCH = 64
 DATASETS = ("small", "medium", "large")
@@ -62,6 +62,7 @@ def run():
         y_label="img/s/chip",
     )
     emit("fig6_vit_pareto", table)
+    emit_json("fig6_vit_pareto", {"results": results})
     return results
 
 

@@ -20,7 +20,7 @@ from repro.hardware import TPU_V4, simulate
 from repro.models import COATNET, COATNET_H
 from repro.models.coatnet import build_graph
 
-from .common import emit
+from .common import emit, emit_json
 
 BATCH = 64
 
@@ -59,6 +59,7 @@ def run():
         f" C-H5: {rh5.bound_fraction('compute'):.2f}"
     )
     emit("fig7_hw_analysis", table)
+    emit_json("fig7_hw_analysis", {"ratios": ratios, "r5": r5, "rh5": rh5})
     return ratios, r5, rh5
 
 

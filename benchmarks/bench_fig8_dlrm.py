@@ -16,7 +16,7 @@ from repro.models import baseline_production_dlrm, dlrm_h, pipeline_times
 from repro.models.dlrm import build_graph
 from repro.quality import DlrmQualityModel
 
-from .common import emit
+from .common import emit, emit_json
 
 
 def run():
@@ -44,6 +44,7 @@ def run():
     )
     table += "\n(all times normalized to the baseline step time; paper: DLRM-H step 0.90, quality +0.02%)"
     emit("fig8_dlrm", table)
+    emit_json("fig8_dlrm", {"stats": stats})
     return stats
 
 

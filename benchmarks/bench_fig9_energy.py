@@ -23,7 +23,7 @@ from repro.models import (
 )
 from repro.models import coatnet, dlrm, efficientnet
 
-from .common import emit
+from .common import emit, emit_json
 
 PAPER = {
     "efficientnet_h": {"performance": 1.06, "power": 1.00, "energy": 0.94},
@@ -76,6 +76,7 @@ def run():
         ],
     )
     emit("fig9_energy", table)
+    emit_json("fig9_energy", {"results": results})
     return results
 
 

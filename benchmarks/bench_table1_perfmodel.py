@@ -25,7 +25,7 @@ from repro.perfmodel import (
 )
 from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
 
-from .common import emit
+from .common import emit, emit_json
 
 NUM_TABLES = 8
 PRETRAIN_SAMPLES = 10_000
@@ -95,6 +95,7 @@ def run():
         ],
     )
     emit("table1_perfmodel", table)
+    emit_json("table1_perfmodel", {"stats": stats})
     return stats
 
 

@@ -11,7 +11,7 @@ from repro.analysis import format_table
 from repro.models import COATNET, EFFICIENTNET_X, baseline_production_dlrm
 from repro.models import coatnet, dlrm, efficientnet
 
-from .common import emit
+from .common import emit, emit_json
 
 
 def family_ranges():
@@ -70,6 +70,7 @@ def run():
         rows,
     )
     emit("table2_domains", table)
+    emit_json("table2_domains", {"ranges": ranges})
     return ranges
 
 

@@ -16,7 +16,7 @@ from repro.models import COATNET
 from repro.models.coatnet import build_graph, num_params
 from repro.quality import coatnet_quality
 
-from .common import emit
+from .common import emit, emit_json
 
 BATCH = 64
 
@@ -68,6 +68,7 @@ def run():
         ],
     )
     emit("table3_coatnet_ablation", table)
+    emit_json("table3_coatnet_ablation", {"rows": rows})
     return rows
 
 

@@ -14,7 +14,7 @@ from repro.models import EFFICIENTNET_H, EFFICIENTNET_X
 from repro.models.efficientnet import build_graph
 from repro.quality import efficientnet_quality
 
-from .common import emit
+from .common import emit, emit_json
 
 TRAIN_BATCH = 64
 SERVE_BATCH = 8
@@ -63,6 +63,7 @@ def run():
         ],
     )
     emit("table4_efficientnet", table)
+    emit_json("table4_efficientnet", {"per_member": per_member, "summary": summary})
     return per_member, summary
 
 

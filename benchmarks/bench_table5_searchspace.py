@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.analysis import format_table
 from repro.searchspace import per_block_cardinalities, table5_size_rows
 
-from .common import emit
+from .common import emit, emit_json
 
 
 def run():
@@ -28,6 +28,7 @@ def run():
         f"{k}={v:,}" for k, v in blocks.items()
     )
     emit("table5_searchspace", table)
+    emit_json("table5_searchspace", {"blocks": blocks, "rows": rows})
     return blocks, rows
 
 

@@ -11,11 +11,35 @@ expected to match.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 from typing import Any, Mapping
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce benchmark results into JSON-safe values.
+
+    Handles the shapes ``run()`` functions actually return: dataclasses,
+    numpy scalars/arrays, tuples/sets, and mappings with non-string
+    keys.  Anything else unrecognized falls back to ``str`` so a payload
+    never aborts the benchmark that computed it.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonable(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item) and getattr(value, "ndim", None) in (None, 0):
+        return value.item()  # numpy scalar
+    if hasattr(value, "tolist") and callable(value.tolist):
+        return jsonable(value.tolist())  # numpy array
+    return str(value)
 
 
 def emit(name: str, text: str) -> str:
@@ -36,5 +60,6 @@ def emit_json(name: str, payload: Mapping[str, Any]) -> pathlib.Path:
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(dict(payload), indent=2, sort_keys=True, default=float) + "\n")
+    payload = jsonable(dict(payload))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n")
     return path

@@ -8,6 +8,8 @@ Subcommands:
   roofline (the Figure 4 study for one block);
 * ``cost`` — the Section 7.3 cost accounting for a training budget;
 * ``search`` — a small end-to-end DLRM search (the quickstart);
+  ``--telemetry-dir`` records metrics and an event log;
+* ``report telemetry`` — summarize a telemetry directory;
 * ``perfmodel`` — two-phase performance-model training on a DLRM slice
   (``--jobs`` parallelizes the simulator sweep).
 
@@ -112,11 +114,13 @@ def _dlrm_step_time(num_tables: int):
     return step_time
 
 
-def _dlrm_search_builder(steps: int, seed: int, use_cache: bool):
+def _dlrm_search_builder(steps: int, seed: int, use_cache: bool, telemetry=None):
     """The quickstart DLRM search as (space, fresh-``H2ONas`` factory).
 
     A *factory* rather than an instance because the supervisor rebuilds
-    the search from scratch on every restart attempt.
+    the search from scratch on every restart attempt.  A shared
+    ``telemetry`` handle survives restarts — that is how churn counters
+    span attempts while run-scoped ones roll back with the checkpoint.
     """
     num_tables = 2
     space = dlrm_search_space(DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2))
@@ -135,15 +139,28 @@ def _dlrm_search_builder(steps: int, seed: int, use_cache: bool):
             objectives=[PerformanceObjective("step_time", 1.0, beta=-0.5)],
             config=SearchConfig(
                 steps=steps, num_cores=4, warmup_steps=10, seed=seed,
-                use_cache=use_cache,
+                use_cache=use_cache, telemetry=telemetry,
             ),
         )
 
     return space, factory
 
 
+def _make_telemetry(args: argparse.Namespace):
+    """The run's shared Telemetry, if ``--telemetry-dir`` was given."""
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    if telemetry_dir is None:
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry(telemetry_dir)
+
+
 def cmd_search(args: argparse.Namespace) -> str:
-    space, factory = _dlrm_search_builder(args.steps, args.seed, args.cache)
+    telemetry = _make_telemetry(args)
+    space, factory = _dlrm_search_builder(
+        args.steps, args.seed, args.cache, telemetry=telemetry
+    )
     nas = factory()
     result = nas.search(
         checkpoint_dir=args.checkpoint_dir,
@@ -153,6 +170,12 @@ def cmd_search(args: argparse.Namespace) -> str:
     out = format_report(space, result)
     if result.eval_stats is not None:
         out += f"\neval runtime: {result.eval_stats.summary()}"
+    if telemetry is not None:
+        telemetry.close()
+        out += (
+            f"\ntelemetry written to {args.telemetry_dir} "
+            f"(view with: python -m repro report telemetry {args.telemetry_dir})"
+        )
     return out
 
 
@@ -165,8 +188,13 @@ def cmd_supervise(args: argparse.Namespace) -> str:
         SupervisorConfig,
     )
 
-    space, factory = _dlrm_search_builder(args.steps, args.seed, args.cache)
-    store = CheckpointStore(args.checkpoint_dir, keep_last=args.keep_last)
+    telemetry = _make_telemetry(args)
+    space, factory = _dlrm_search_builder(
+        args.steps, args.seed, args.cache, telemetry=telemetry
+    )
+    store = CheckpointStore(
+        args.checkpoint_dir, keep_last=args.keep_last, telemetry=telemetry
+    )
     injector = None
     if args.inject_crash_at:
         injector = FaultInjector(
@@ -204,7 +232,19 @@ def cmd_supervise(args: argparse.Namespace) -> str:
         f"  steps replayed: {supervised.steps_replayed}"
         f"  snapshots (final attempt): {supervised.snapshots_written}"
     )
+    if telemetry is not None:
+        telemetry.close()
+        out += (
+            f"\ntelemetry written to {args.telemetry_dir} "
+            f"(view with: python -m repro report telemetry {args.telemetry_dir})"
+        )
     return out
+
+
+def cmd_report_telemetry(args: argparse.Namespace) -> str:
+    from .telemetry.report import render_report
+
+    return render_report(args.directory).rstrip("\n")
 
 
 def cmd_perfmodel(args: argparse.Namespace) -> str:
@@ -312,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=3,
             help="snapshots retained in the checkpoint directory",
         )
+        p.add_argument(
+            "--telemetry-dir",
+            default=None,
+            help="record run telemetry (metrics summary + event log) "
+            "into this directory; view with 'report telemetry'",
+        )
 
     add_search_args(search, checkpoint_dir_required=False)
     search.add_argument(
@@ -351,6 +397,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(fault-tolerance demo)",
     )
     supervise.set_defaults(handler=cmd_supervise)
+
+    report = sub.add_parser(
+        "report", help="render reports from run artifacts"
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    report_telemetry = report_sub.add_parser(
+        "telemetry",
+        help="summarize a --telemetry-dir (counters, spans, event log)",
+    )
+    report_telemetry.add_argument(
+        "directory", help="telemetry directory a run wrote with --telemetry-dir"
+    )
+    report_telemetry.set_defaults(handler=cmd_report_telemetry)
 
     perfmodel = sub.add_parser(
         "perfmodel", help="two-phase performance-model training (Table 1, small)"

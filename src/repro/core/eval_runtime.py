@@ -45,8 +45,25 @@ from ..searchspace.base import Architecture, SearchSpace
 #: Canonical cache key: one integer index per search-space decision.
 ArchKey = Tuple[int, ...]
 
+#: The canonical stage names, shared by every ``timed()`` caller and by
+#: telemetry span names.  A free-form string here used to silently open
+#: a new timing bucket that ``EvalRuntimeStats.summary`` then dropped;
+#: callers must use these constants, and :meth:`EvalRuntime.timed`
+#: rejects anything else.
+STAGE_SAMPLE = "sample"
+STAGE_SCORE = "score"
+STAGE_PRICE = "price"
+STAGE_POLICY_UPDATE = "policy_update"
+STAGE_WEIGHT_UPDATE = "weight_update"
+
 #: Stage names the searches report wall time for, in pipeline order.
-STAGES = ("sample", "score", "price", "policy_update", "weight_update")
+STAGES = (
+    STAGE_SAMPLE,
+    STAGE_SCORE,
+    STAGE_PRICE,
+    STAGE_POLICY_UPDATE,
+    STAGE_WEIGHT_UPDATE,
+)
 
 
 @runtime_checkable
@@ -175,8 +192,23 @@ class EvalRuntimeStats:
         calls = self.stage_calls.get(stage, 0)
         return self.stage_seconds.get(stage, 0.0) / calls if calls else 0.0
 
+    @property
+    def unknown_stages(self) -> Tuple[str, ...]:
+        """Timing buckets outside :data:`STAGES` (legacy imported state).
+
+        ``timed()`` rejects unknown stage names, so these can only come
+        from a checkpoint written before validation existed; surfacing
+        them keeps their wall time from vanishing from the summary.
+        """
+        return tuple(sorted(s for s in self.stage_seconds if s not in STAGES))
+
     def summary(self) -> str:
-        """One-line human-readable view for reports and the CLI."""
+        """One-line human-readable view for reports and the CLI.
+
+        Every timing bucket is rendered — canonical stages in pipeline
+        order first, then any unknown (legacy) buckets flagged with
+        ``!``, so no recorded wall time is ever silently dropped.
+        """
         if self.cache_enabled:
             cache = (
                 f"cache {self.cache_hits}/{self.cache_hits + self.cache_misses} hits "
@@ -186,11 +218,12 @@ class EvalRuntimeStats:
             cache = f"cache off, {self.evaluations} evaluations"
         if self.price_throughput > 0:
             cache += f", {self.price_throughput:.0f} candidates/s priced"
+        ordered = [s for s in STAGES if s in self.stage_seconds]
+        ordered += [f"!{s}" for s in self.unknown_stages]
         stages = ", ".join(
-            f"{stage}={self.stage_seconds[stage] * 1e3:.1f}ms"
-            f" ({self.stage_mean_seconds(stage) * 1e3:.2f}ms/call)"
-            for stage in STAGES
-            if stage in self.stage_seconds
+            f"{label}={self.stage_seconds[label.lstrip('!')] * 1e3:.1f}ms"
+            f" ({self.stage_mean_seconds(label.lstrip('!')) * 1e3:.2f}ms/call)"
+            for label in ordered
         )
         return f"{cache}; {stages}" if stages else cache
 
@@ -215,6 +248,7 @@ class EvalRuntime:
         space: Optional[SearchSpace] = None,
         use_cache: bool = True,
         cache_capacity: int = 4096,
+        telemetry: Optional[Any] = None,
     ):
         self.performance_fn = performance_fn
         self.space = space
@@ -230,6 +264,34 @@ class EvalRuntime:
         self.candidates_priced = 0
         self._stage_seconds: Dict[str, float] = {}
         self._stage_calls: Dict[str, int] = {}
+        #: shared :class:`repro.telemetry.Telemetry`; cache/pricing
+        #: counters and stage spans mirror into it when attached
+        self.telemetry = telemetry
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Attach a telemetry handle unless one is already set."""
+        if self.telemetry is None:
+            self.telemetry = telemetry
+
+    def _pricing_marks(self) -> Tuple[int, int, int, int]:
+        cache = self.cache
+        if cache is None:
+            return (0, 0, 0, self.evaluations)
+        return (cache.hits, cache.misses, cache.evictions, self.evaluations)
+
+    def _record_pricing(self, priced: int, before: Tuple[int, int, int, int]) -> None:
+        """Mirror one pricing call's counter deltas into telemetry."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        after = self._pricing_marks()
+        telemetry.counter("eval.candidates_priced").inc(priced)
+        telemetry.counter("eval.evaluations").inc(after[3] - before[3])
+        if self.cache is not None:
+            telemetry.counter("eval.cache.hits").inc(after[0] - before[0])
+            telemetry.counter("eval.cache.misses").inc(after[1] - before[1])
+            telemetry.counter("eval.cache.evictions").inc(after[2] - before[2])
+            telemetry.gauge("eval.cache.entries").set(len(self.cache))
 
     # ------------------------------------------------------------------
     def _key(
@@ -269,18 +331,22 @@ class EvalRuntime:
         it avoids re-deriving the cache key (the searches already hold
         it).  Without it the runtime needs ``space`` to compute the key.
         """
+        marks = self._pricing_marks()
         self.candidates_priced += 1
-        if self.cache is None:
+        try:
+            if self.cache is None:
+                self.evaluations += 1
+                return dict(self.performance_fn(arch))
+            key = self._key(arch, indices)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return dict(cached)
             self.evaluations += 1
-            return dict(self.performance_fn(arch))
-        key = self._key(arch, indices)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return dict(cached)
-        self.evaluations += 1
-        metrics = dict(self.performance_fn(arch))
-        self.cache.put(key, metrics)
-        return dict(metrics)
+            metrics = dict(self.performance_fn(arch))
+            self.cache.put(key, metrics)
+            return dict(metrics)
+        finally:
+            self._record_pricing(1, marks)
 
     def price_many(
         self,
@@ -292,48 +358,69 @@ class EvalRuntime:
         are evaluated in *one* :class:`BatchPerformanceFn` call when the
         performance function is batchable (falling back to per-arch
         calls otherwise) and inserted into the cache in one pass.
-        Metrics, cache counters and cache contents match a sequential
-        ``[price(a, i) for a, i in drawn]`` loop exactly — a duplicate
-        of an in-shard miss counts as the hit it would have been once
-        the first occurrence had been priced.  (Only the LRU *recency*
-        order within one shard may differ; contents diverge only under
-        eviction pressure from a single shard.)
+        Returned metrics always match a sequential
+        ``[price(a, i) for a, i in drawn]`` loop, and so do cache
+        counters and contents — *except* when a single shard holds more
+        distinct keys than the cache has free capacity.  Under that
+        eviction pressure the two orders legitimately diverge: the
+        sequential loop may evict an earlier in-shard key and re-miss
+        its duplicate, while the batched path classifies hits before any
+        insertion, so a duplicate of an in-shard miss always counts as
+        the hit it would have been had nothing been evicted, and the
+        final LRU contents reflect batch insertion order.  This is pinned
+        by ``tests/test_eval_runtime.py::TestPriceManyEvictionPressure``;
+        size the cache above the shard width to stay in the exact regime.
         """
         pairs = list(drawn)
+        marks = self._pricing_marks()
         self.candidates_priced += len(pairs)
-        if self.cache is None:
-            return self._evaluate_batch([arch for arch, _ in pairs])
-        results: List[Optional[Dict[str, float]]] = [None] * len(pairs)
-        #: first-seen order of in-shard misses: key -> shard positions
-        miss_positions: "OrderedDict[ArchKey, List[int]]" = OrderedDict()
-        miss_archs: List[Architecture] = []
-        for position, (arch, indices) in enumerate(pairs):
-            key = self._key(arch, indices)
-            if key in miss_positions:
-                # A sequential loop would have cached the first
-                # occurrence by now, so this one is a hit.
-                self.cache.hits += 1
-                miss_positions[key].append(position)
-                continue
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[position] = dict(cached)
-            else:
-                miss_positions[key] = [position]
-                miss_archs.append(arch)
-        if miss_archs:
-            for key, metrics in zip(
-                miss_positions, self._evaluate_batch(miss_archs)
-            ):
-                self.cache.put(key, metrics)
-                for position in miss_positions[key]:
-                    results[position] = dict(metrics)
-        return results  # type: ignore[return-value]  # all filled above
+        try:
+            if self.cache is None:
+                return self._evaluate_batch([arch for arch, _ in pairs])
+            results: List[Optional[Dict[str, float]]] = [None] * len(pairs)
+            #: first-seen order of in-shard misses: key -> shard positions
+            miss_positions: "OrderedDict[ArchKey, List[int]]" = OrderedDict()
+            miss_archs: List[Architecture] = []
+            for position, (arch, indices) in enumerate(pairs):
+                key = self._key(arch, indices)
+                if key in miss_positions:
+                    # A sequential loop would have cached the first
+                    # occurrence by now, so this one is a hit.
+                    self.cache.hits += 1
+                    miss_positions[key].append(position)
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[position] = dict(cached)
+                else:
+                    miss_positions[key] = [position]
+                    miss_archs.append(arch)
+            if miss_archs:
+                for key, metrics in zip(
+                    miss_positions, self._evaluate_batch(miss_archs)
+                ):
+                    self.cache.put(key, metrics)
+                    for position in miss_positions[key]:
+                        results[position] = dict(metrics)
+            return results  # type: ignore[return-value]  # all filled above
+        finally:
+            self._record_pricing(len(pairs), marks)
 
     # ------------------------------------------------------------------
     @contextmanager
     def timed(self, stage: str) -> Iterator[None]:
-        """Accumulate wall time of the enclosed block under ``stage``."""
+        """Accumulate wall time of the enclosed block under ``stage``.
+
+        ``stage`` must be one of :data:`STAGES` — a free-form name used
+        to open a phantom bucket that the summary silently dropped.  The
+        elapsed time is also forwarded to the attached telemetry trace
+        as a ``span.<stage>`` observation.
+        """
+        if stage not in STAGES:
+            raise ValueError(
+                f"unknown stage {stage!r}; use one of the STAGE_* constants "
+                f"({', '.join(STAGES)})"
+            )
         start = time.perf_counter()
         try:
             yield
@@ -341,6 +428,8 @@ class EvalRuntime:
             elapsed = time.perf_counter() - start
             self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + elapsed
             self._stage_calls[stage] = self._stage_calls.get(stage, 0) + 1
+            if self.telemetry is not None:
+                self.telemetry.trace.record(stage, elapsed)
 
     def stage_seconds(self, stage: str) -> float:
         return self._stage_seconds.get(stage, 0.0)

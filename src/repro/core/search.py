@@ -22,7 +22,17 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -31,8 +41,21 @@ from ..data.pipeline import SingleStepPipeline, TwoStreamPipeline
 from ..nn import Adam, Optimizer
 from ..searchspace.base import Architecture, SearchSpace
 from .controller import ReinforceController
-from .eval_runtime import ArchKey, EvalRuntime, EvalRuntimeStats, arch_key
+from .eval_runtime import (
+    STAGE_POLICY_UPDATE,
+    STAGE_PRICE,
+    STAGE_SAMPLE,
+    STAGE_SCORE,
+    STAGE_WEIGHT_UPDATE,
+    ArchKey,
+    EvalRuntime,
+    EvalRuntimeStats,
+    arch_key,
+)
 from .reward import RewardFunction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..telemetry import Telemetry
 
 PerformanceFn = Callable[[Architecture], Mapping[str, float]]
 
@@ -133,6 +156,13 @@ class SearchConfig:
     #: quality_many/loss_many, e.g. via StackedScoringMixin; other
     #: supernets keep the per-core path)
     group_unique: bool = True
+    #: shared :class:`repro.telemetry.Telemetry` handle; when set, the
+    #: search records per-step spans, reward/entropy/penalty gauges and
+    #: step events, attaches it to its eval runtime and pipeline, and
+    #: includes run-scoped counter state in checkpoint snapshots
+    telemetry: Optional["Telemetry"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.steps < 1 or self.num_cores < 1:
@@ -141,6 +171,31 @@ class SearchConfig:
             raise ValueError("warmup_steps must be >= 0")
         if self.cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+
+
+def _record_step_telemetry(
+    telemetry: Optional["Telemetry"], record: StepRecord
+) -> None:
+    """Account one completed step to the shared telemetry (no-op if off).
+
+    ``search.penalty`` is the mean cost the reward function charged the
+    shard (quality minus reward) — positive when hardware targets are
+    being missed, ~0 once the policy prices candidates on target.
+    """
+    if telemetry is None:
+        return
+    telemetry.counter("search.steps").inc()
+    telemetry.gauge("search.reward").set(record.mean_reward)
+    telemetry.gauge("search.quality").set(record.mean_quality)
+    telemetry.gauge("search.entropy").set(record.policy_entropy)
+    telemetry.gauge("search.penalty").set(record.mean_quality - record.mean_reward)
+    telemetry.event(
+        "search.step",
+        step=record.step,
+        reward=record.mean_reward,
+        quality=record.mean_quality,
+        entropy=record.policy_entropy,
+    )
 
 
 class SingleStepSearch:
@@ -163,12 +218,16 @@ class SingleStepSearch:
         self.reward_fn = reward_fn
         self.performance_fn = performance_fn
         self.config = config
+        self.telemetry = config.telemetry
         self.runtime = eval_runtime or EvalRuntime(
             performance_fn,
             space=space,
             use_cache=config.use_cache,
             cache_capacity=config.cache_size,
         )
+        if self.telemetry is not None:
+            self.runtime.attach_telemetry(self.telemetry)
+            self.pipeline.attach_telemetry(self.telemetry)
         self.controller = ReinforceController(
             space,
             learning_rate=config.policy_lr,
@@ -186,7 +245,12 @@ class SingleStepSearch:
     # -- stepwise driver protocol (checkpointed execution) --------------
     def step(self, step: int) -> StepRecord:
         """Run one search step; the unit the supervisor checkpoints at."""
-        return self._step(step)
+        if self.telemetry is None:
+            return self._step(step)
+        with self.telemetry.span("step"):
+            record = self._step(step)
+        _record_step_telemetry(self.telemetry, record)
+        return record
 
     def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
         """Assemble the result from externally-driven step records."""
@@ -201,7 +265,7 @@ class SingleStepSearch:
         """Everything this search mutates, for bit-identical resume."""
         from ..runtime.checkpoint import supernet_state
 
-        return {
+        state = {
             "controller": self.controller.state_dict(),
             "optimizer": self._optimizer.state_dict(),
             "supernet": supernet_state(self.supernet),
@@ -209,6 +273,9 @@ class SingleStepSearch:
             "pipeline": self.pipeline.state_dict(),
             "runtime": self.runtime.export_state(),
         }
+        if self.telemetry is not None:
+            state["telemetry"] = self.telemetry.export_state()
+        return state
 
     def load_state_dict(self, state: Mapping) -> None:
         from ..runtime.checkpoint import restore_supernet_state
@@ -219,6 +286,9 @@ class SingleStepSearch:
         self._warmup_rng.bit_generator.state = state["warmup_rng"]
         self.pipeline.load_state_dict(state["pipeline"])
         self.runtime.import_state(state["runtime"])
+        telemetry_state = state.get("telemetry")
+        if self.telemetry is not None and telemetry_state is not None:
+            self.telemetry.import_state(telemetry_state)
 
     # -- grouped shard execution ---------------------------------------
     def _score_shard(
@@ -289,7 +359,7 @@ class SingleStepSearch:
         warming_up = step < cfg.warmup_steps
         # Stage 1: every core draws a fresh batch; the shard's candidates
         # are sampled in one vectorized policy draw.
-        with runtime.timed("sample"):
+        with runtime.timed(STAGE_SAMPLE):
             batches = [self.pipeline.next_batch() for _ in range(cfg.num_cores)]
             if warming_up:
                 drawn = []
@@ -302,14 +372,14 @@ class SingleStepSearch:
         # Stage 2: score the shard with the shared weights on its fresh
         # batches (the policy consumes the batches first) — one stacked
         # pass per unique architecture when the supernet supports it.
-        with runtime.timed("score"):
+        with runtime.timed(STAGE_SCORE):
             qualities = self._score_shard(drawn, batches, groups)
             for batch in batches:
                 self.pipeline.mark_policy_use(batch)
         # Stage 3: price the whole shard through the memoized runtime in
         # one batched call (cache misses share one vectorized evaluation
         # when the performance fn is batchable).
-        with runtime.timed("price"):
+        with runtime.timed(STAGE_PRICE):
             all_metrics = runtime.price_many(drawn)
         candidates: List[CandidateRecord] = []
         samples: List[Tuple[np.ndarray, float]] = []
@@ -319,10 +389,10 @@ class SingleStepSearch:
             candidates.append(CandidateRecord(arch, quality, metrics, reward))
         # Stage 4: cross-shard policy update (skipped during warmup).
         if not warming_up:
-            with runtime.timed("policy_update"):
+            with runtime.timed(STAGE_POLICY_UPDATE):
                 self.controller.update(samples)
         # Stage 5: cross-shard weight update on the same batches.
-        with runtime.timed("weight_update"):
+        with runtime.timed(STAGE_WEIGHT_UPDATE):
             self.supernet.zero_grad()
             self._update_weights_on_shard(drawn, batches, groups)
             for batch in batches:
@@ -357,12 +427,16 @@ class TunasSearch:
         self.reward_fn = reward_fn
         self.performance_fn = performance_fn
         self.config = config
+        self.telemetry = config.telemetry
         self.runtime = eval_runtime or EvalRuntime(
             performance_fn,
             space=space,
             use_cache=config.use_cache,
             cache_capacity=config.cache_size,
         )
+        if self.telemetry is not None:
+            self.runtime.attach_telemetry(self.telemetry)
+            self.pipeline.attach_telemetry(self.telemetry)
         self.controller = ReinforceController(
             space,
             learning_rate=config.policy_lr,
@@ -379,7 +453,12 @@ class TunasSearch:
     # -- stepwise driver protocol (checkpointed execution) --------------
     def step(self, step: int) -> StepRecord:
         """Run one search step; the unit the supervisor checkpoints at."""
-        return self._step(step)
+        if self.telemetry is None:
+            return self._step(step)
+        with self.telemetry.span("step"):
+            record = self._step(step)
+        _record_step_telemetry(self.telemetry, record)
+        return record
 
     def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
         """Assemble the result from externally-driven step records."""
@@ -394,7 +473,7 @@ class TunasSearch:
         """Everything this search mutates, for bit-identical resume."""
         from ..runtime.checkpoint import supernet_state
 
-        return {
+        state = {
             "controller": self.controller.state_dict(),
             "optimizer": self._optimizer.state_dict(),
             "supernet": supernet_state(self.supernet),
@@ -402,6 +481,9 @@ class TunasSearch:
             "pipeline": self.pipeline.state_dict(),
             "runtime": self.runtime.export_state(),
         }
+        if self.telemetry is not None:
+            state["telemetry"] = self.telemetry.export_state()
+        return state
 
     def load_state_dict(self, state: Mapping) -> None:
         from ..runtime.checkpoint import restore_supernet_state
@@ -412,13 +494,16 @@ class TunasSearch:
         self._warmup_rng.bit_generator.state = state["warmup_rng"]
         self.pipeline.load_state_dict(state["pipeline"])
         self.runtime.import_state(state["runtime"])
+        telemetry_state = state.get("telemetry")
+        if self.telemetry is not None and telemetry_state is not None:
+            self.telemetry.import_state(telemetry_state)
 
     def _step(self, step: int) -> StepRecord:
         cfg = self.config
         runtime = self.runtime
         warming_up = step < cfg.warmup_steps
         # Weight-training step on the training split.
-        with runtime.timed("weight_update"):
+        with runtime.timed(STAGE_WEIGHT_UPDATE):
             if warming_up:
                 arch = self.space.sample(self._warmup_rng)
             else:
@@ -430,14 +515,14 @@ class TunasSearch:
         # Policy step on the validation split: one vectorized draw, then
         # score and price the whole shard.
         valid_batch = self.pipeline.next_valid_batch()
-        with runtime.timed("sample"):
+        with runtime.timed(STAGE_SAMPLE):
             drawn = self.controller.sample_many(cfg.num_cores)
-        with runtime.timed("score"):
+        with runtime.timed(STAGE_SCORE):
             qualities = [
                 self.supernet.quality(cand, valid_batch.inputs, valid_batch.labels)
                 for cand, _ in drawn
             ]
-        with runtime.timed("price"):
+        with runtime.timed(STAGE_PRICE):
             all_metrics = runtime.price_many(drawn)
         candidates: List[CandidateRecord] = []
         samples: List[Tuple[np.ndarray, float]] = []
@@ -446,7 +531,7 @@ class TunasSearch:
             samples.append((indices, reward))
             candidates.append(CandidateRecord(cand, quality, metrics, reward))
         if not warming_up:
-            with runtime.timed("policy_update"):
+            with runtime.timed(STAGE_POLICY_UPDATE):
                 self.controller.update(samples)
         return StepRecord(
             step=step,

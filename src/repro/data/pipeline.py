@@ -19,11 +19,27 @@ Two pipelines implement the two data regimes the paper contrasts:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .batch import Batch
 
 BatchSource = Callable[[], Batch]
+
+
+class _TelemetryMixin:
+    """Optional shared telemetry handle for the pipelines.
+
+    Pipelines are constructed before the search that owns the telemetry
+    handle, so the search attaches it afterwards (see
+    ``SingleStepSearch.__init__``); all recording is a no-op until then.
+    """
+
+    _telemetry: Optional[Any] = None
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Attach a telemetry handle unless one is already set."""
+        if self._telemetry is None:
+            self._telemetry = telemetry
 
 
 def _source_owner(source: BatchSource) -> object:
@@ -76,7 +92,7 @@ class PipelineExhausted(PipelineProtocolError):
     """
 
 
-class SingleStepPipeline:
+class SingleStepPipeline(_TelemetryMixin):
     """Streaming pipeline with single-use, policy-before-weights batches.
 
     Bookkeeping is O(outstanding batches), not O(stream length): a batch's
@@ -126,6 +142,12 @@ class SingleStepPipeline:
     def next_batch(self) -> Batch:
         """Fetch the next fresh batch from the stream."""
         if self.exhausted():
+            if self._telemetry is not None:
+                self._telemetry.event(
+                    "pipeline.exhausted",
+                    issued=self._issued,
+                    max_batches=self._max_batches,
+                )
             raise PipelineExhausted(
                 f"pipeline exhausted after {self._issued} batches "
                 f"(max_batches={self._max_batches})"
@@ -141,6 +163,15 @@ class SingleStepPipeline:
         self._outstanding[batch.batch_id] = "issued"
         self._peak_outstanding = max(self._peak_outstanding, len(self._outstanding))
         self._issued += 1
+        if self._telemetry is not None:
+            self._telemetry.counter("pipeline.batches").inc()
+            self._telemetry.gauge("pipeline.watermark").set(self._id_watermark)
+            self._telemetry.gauge("pipeline.outstanding").set(
+                len(self._outstanding)
+            )
+            self._telemetry.gauge("pipeline.peak_outstanding").set(
+                self._peak_outstanding
+            )
         return batch
 
     def mark_policy_use(self, batch: Batch) -> None:
@@ -185,6 +216,10 @@ class SingleStepPipeline:
             )
         # Fully consumed: drop all record of the data (in-memory only).
         del self._outstanding[batch.batch_id]
+        if self._telemetry is not None:
+            self._telemetry.gauge("pipeline.outstanding").set(
+                len(self._outstanding)
+            )
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
@@ -213,7 +248,7 @@ class SingleStepPipeline:
         restore_source_state(self._source, state["source"])
 
 
-class TwoStreamPipeline:
+class TwoStreamPipeline(_TelemetryMixin):
     """Finite train/validation streams with reuse (the research regime)."""
 
     def __init__(
@@ -238,6 +273,11 @@ class TwoStreamPipeline:
         if self._train_cursor == len(self._train):
             self._train_cursor = 0
             self.train_reuses += 1
+        if self._telemetry is not None:
+            self._telemetry.counter("pipeline.batches").inc(split="train")
+            self._telemetry.gauge("pipeline.reuses").set(
+                self.train_reuses, split="train"
+            )
         return batch
 
     def next_valid_batch(self) -> Batch:
@@ -247,6 +287,11 @@ class TwoStreamPipeline:
         if self._valid_cursor == len(self._valid):
             self._valid_cursor = 0
             self.valid_reuses += 1
+        if self._telemetry is not None:
+            self._telemetry.counter("pipeline.batches").inc(split="valid")
+            self._telemetry.gauge("pipeline.reuses").set(
+                self.valid_reuses, split="valid"
+            )
         return batch
 
     @property

@@ -103,6 +103,7 @@ class HardwareTestbed:
         policy: Optional[MeasurementPolicy] = None,
         clock: Callable[[], float] = time.perf_counter,
         sleep_fn: Callable[[float], None] = time.sleep,
+        telemetry: Optional[object] = None,
     ):
         self.hw = hw
         self.calibration = calibration or TestbedCalibration()
@@ -114,6 +115,14 @@ class HardwareTestbed:
         #: lifetime retry/timeout counters across all measure() calls
         self.total_retries = 0
         self.total_timeouts = 0
+        #: optional shared telemetry; ``testbed.*`` counters are churn
+        #: scoped (measurement churn is real work, never rolled back)
+        self.telemetry = telemetry
+
+    def attach_telemetry(self, telemetry: object) -> None:
+        """Attach a telemetry handle unless one is already set."""
+        if self.telemetry is None:
+            self.telemetry = telemetry
 
     def simulate(self, graph: OpGraph) -> SimulationResult:
         """Clean simulator result (what pretraining data is made from)."""
@@ -136,37 +145,62 @@ class HardwareTestbed:
     def measure(self, graph: OpGraph) -> Measurement:
         """One measurement under the retry/timeout policy.
 
-        Each attempt is timed against ``policy.timeout_s``; attempts
-        that run past the deadline or raise are discarded and retried
-        (with backoff) up to ``policy.max_attempts``, after which
-        :class:`MeasurementError` carries the last failure.  The result
-        surfaces how many attempts and timeouts the measurement cost.
+        Each attempt is timed against ``policy.timeout_s``; transient
+        attempt failures and timeouts are discarded and retried (with
+        backoff) up to ``policy.max_attempts``, after which
+        :class:`MeasurementError` carries the last failure.  An attempt
+        that raises a *non-retryable* error — a deterministic bug such
+        as a ``TypeError`` from a bad config (see
+        :mod:`repro.runtime.errors`) — re-raises immediately instead of
+        failing identically ``max_attempts`` times.  The result surfaces
+        how many attempts and timeouts the measurement cost.
         """
+        # Deferred import: hardware must stay importable without the
+        # runtime package's transitive (core/search) dependencies.
+        from ..runtime.errors import is_retryable
+
         policy = self.policy
+        telemetry = self.telemetry
         timed_out = 0
         last_error: Optional[Exception] = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self.total_retries += 1
+                if telemetry is not None:
+                    telemetry.counter("testbed.retries").inc()
                 backoff = policy.backoff_for(attempt - 1)
                 if backoff > 0:
                     self._sleep(backoff)
             started = self._clock()
             try:
                 value = self.measure_time(graph)
-            except Exception as error:  # noqa: BLE001 - retry any attempt failure
+            except Exception as error:  # noqa: BLE001 - classified below
+                retryable = is_retryable(error)
+                if telemetry is not None:
+                    telemetry.counter("testbed.failures").inc(
+                        error=type(error).__name__,
+                        retryable=str(retryable).lower(),
+                    )
+                if not retryable:
+                    raise
                 last_error = error
                 continue
             elapsed = self._clock() - started
             if policy.timeout_s is not None and elapsed > policy.timeout_s:
                 timed_out += 1
                 self.total_timeouts += 1
+                if telemetry is not None:
+                    telemetry.counter("testbed.timeouts").inc()
                 last_error = MeasurementTimeout(
                     f"measurement attempt {attempt} took {elapsed:.3f}s "
                     f"(deadline {policy.timeout_s:.3f}s)"
                 )
                 continue
+            if telemetry is not None:
+                telemetry.counter("testbed.measurements").inc()
             return Measurement(time_s=value, attempts=attempt, timed_out=timed_out)
+        if telemetry is not None:
+            telemetry.counter("testbed.exhausted").inc()
         raise MeasurementError(
             f"measurement failed after {policy.max_attempts} attempts "
             f"({timed_out} timed out)"

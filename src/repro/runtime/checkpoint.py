@@ -159,12 +159,22 @@ class CheckpointStore:
     ARRAYS_NAME = "arrays.bin"
     _MANIFEST_VERSION = 1
 
-    def __init__(self, root: PathLike, keep_last: int = 3):
+    def __init__(
+        self, root: PathLike, keep_last: int = 3, telemetry: Optional[Any] = None
+    ):
         if keep_last < 1:
             raise ValueError("keep_last must be >= 1")
         self.root = pathlib.Path(root)
         self.keep_last = keep_last
         self.root.mkdir(parents=True, exist_ok=True)
+        #: optional shared telemetry; ``checkpoint.*`` metrics are churn
+        #: scoped (never rolled back on resume — the saves really happened)
+        self.telemetry = telemetry
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Attach a telemetry handle unless one is already set."""
+        if self.telemetry is None:
+            self.telemetry = telemetry
 
     # -- manifest ------------------------------------------------------
     @property
@@ -219,6 +229,7 @@ class CheckpointStore:
         into place, and only then referenced from the manifest — each
         transition atomic, so readers never observe a partial snapshot.
         """
+        save_started = time.perf_counter()
         manifest = self._read_manifest()
         seq = int(manifest["next_seq"])
         snapshot_id = f"snap-{seq:06d}-step-{step:06d}"
@@ -290,6 +301,14 @@ class CheckpointStore:
         for old in retired:
             shutil.rmtree(self.root / old["id"], ignore_errors=True)
         self._sweep_staging()
+        if self.telemetry is not None:
+            self.telemetry.counter("checkpoint.saves").inc()
+            self.telemetry.registry.histogram("checkpoint.save_seconds").observe(
+                time.perf_counter() - save_started
+            )
+            self.telemetry.event(
+                "checkpoint.save", step=int(step), snapshot_id=snapshot_id, seq=seq
+            )
         return self._info_from_entry(entry)
 
     def _sweep_staging(self) -> None:
@@ -305,6 +324,25 @@ class CheckpointStore:
         Raises :class:`CheckpointCorruptError` if any file is missing,
         fails its manifest checksum, or does not parse.
         """
+        try:
+            state = self._load_verified(info)
+        except CheckpointCorruptError as error:
+            if self.telemetry is not None:
+                self.telemetry.counter("checkpoint.corrupt").inc()
+                self.telemetry.event(
+                    "checkpoint.corrupt",
+                    snapshot_id=info.snapshot_id,
+                    error=str(error),
+                )
+            raise
+        if self.telemetry is not None:
+            self.telemetry.counter("checkpoint.loads").inc()
+            self.telemetry.event(
+                "checkpoint.load", step=info.step, snapshot_id=info.snapshot_id
+            )
+        return state
+
+    def _load_verified(self, info: SnapshotInfo) -> Any:
         directory = self.snapshot_dir(info)
         for name, expected in info.files.items():
             path = directory / name

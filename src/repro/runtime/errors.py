@@ -1,0 +1,57 @@
+"""Crash classification: which failures are worth retrying?
+
+The supervisor and the hardware testbed both used to retry on *any*
+``Exception``.  That policy turns a programming error — a ``TypeError``
+from a bad config, a ``KeyError`` from a malformed metrics mapping —
+into ``max_restarts`` identical crashes and a misleading
+"restart budget exhausted" failure, burning the whole backoff schedule
+on an error that can never succeed.  This module centralizes the
+classification both retry loops use:
+
+* **non-retryable**: deterministic programming/configuration errors
+  (:data:`NON_RETRYABLE_TYPES`) — re-raised immediately so the operator
+  sees the real traceback on the first attempt;
+* **retryable**: everything else, notably ``RuntimeError`` (the
+  conventional type for transient environment failures in this repo)
+  and every fault the injection harness raises
+  (:class:`~repro.runtime.faults.InjectedFault` and subclasses), which
+  exist precisely to exercise the retry machinery.
+
+``MemoryError``/``OSError`` style resource exhaustion stays retryable:
+on a real fleet those are preemptions and flaky filesystems, the
+bread-and-butter restart case.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+from .faults import InjectedFault
+
+#: Deterministic programming/configuration errors: retrying re-executes
+#: the same broken code on the same inputs and fails identically.
+NON_RETRYABLE_TYPES: Tuple[Type[BaseException], ...] = (
+    TypeError,
+    KeyError,
+    ValueError,
+    AttributeError,
+    IndexError,
+    NotImplementedError,
+)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a retry loop should attempt ``error`` again.
+
+    Injected faults are always retryable — the fault harness models
+    transient infrastructure failures even when it raises a type that
+    would otherwise classify as a bug.
+    """
+    if isinstance(error, InjectedFault):
+        return True
+    return not isinstance(error, NON_RETRYABLE_TYPES)
+
+
+def classify_error(error: BaseException) -> str:
+    """``"retryable"`` or ``"non_retryable"``, for logs and telemetry."""
+    return "retryable" if is_retryable(error) else "non_retryable"

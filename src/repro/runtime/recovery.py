@@ -73,10 +73,18 @@ def resume_search(store: CheckpointStore, search: Any):
     """Restore ``search`` from the newest good snapshot, if one exists.
 
     Returns ``(next_step, history, report)``; ``next_step`` is 0 with an
-    empty history for a fresh start.
+    empty history for a fresh start.  When the search carries a
+    telemetry handle, a fresh start resets its run-scoped metrics (a
+    restarted process with no usable snapshot must not report counts
+    from rolled-back steps), while churn metrics (``recovery.*`` etc.)
+    always survive.
     """
+    telemetry = getattr(search, "telemetry", None)
     loaded = resume_latest(store)
     if loaded is None:
+        if telemetry is not None:
+            telemetry.reset_run_metrics()
+            telemetry.event("recovery.fresh_start")
         return 0, [], ResumeReport()
     next_step, history = restore_search(search, loaded.state)
     report = ResumeReport(
@@ -84,4 +92,21 @@ def resume_search(store: CheckpointStore, search: Any):
         snapshot_id=loaded.info.snapshot_id,
         corrupt_skipped=loaded.corrupt_skipped,
     )
+    if telemetry is not None:
+        if loaded.corrupt_skipped:
+            telemetry.counter("recovery.corrupt_snapshots").inc(
+                len(loaded.corrupt_skipped)
+            )
+            telemetry.event(
+                "recovery.corrupt_fallback",
+                skipped=list(loaded.corrupt_skipped),
+                used_snapshot_id=loaded.info.snapshot_id,
+            )
+        telemetry.counter("recovery.resumes").inc()
+        telemetry.event(
+            "recovery.resumed",
+            step=next_step,
+            snapshot_id=loaded.info.snapshot_id,
+            corrupt_skipped=len(loaded.corrupt_skipped),
+        )
     return next_step, history, report

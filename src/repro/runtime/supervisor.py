@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Set
 
 from .checkpoint import CheckpointStore, search_checkpoint_payload
+from .errors import is_retryable
 from .faults import FaultInjector
 from .recovery import ResumeReport, resume_search
 
@@ -52,9 +53,16 @@ def run_with_checkpoints(
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    telemetry = getattr(search, "telemetry", None)
+    if telemetry is not None and store is not None:
+        store.attach_telemetry(telemetry)
     if store is not None and resume:
         next_step, history, report = resume_search(store, search)
     else:
+        # A deliberate from-scratch start: run-scoped metrics must not
+        # carry counts from any earlier attempt sharing this registry.
+        if telemetry is not None:
+            telemetry.reset_run_metrics()
         next_step, history, report = 0, [], ResumeReport()
     written = 0
     total_steps = int(search.config.steps)
@@ -62,6 +70,11 @@ def run_with_checkpoints(
         if injector is not None:
             injector.before_step(step)
         history.append(search.step(step))
+        # Run-scoped liveness: rolled back with the search state on
+        # resume, so totals stay bit-identical across crash/resume
+        # (the supervisor's raw heartbeat ints keep counting replays).
+        if telemetry is not None:
+            telemetry.counter("search.heartbeats").inc()
         if on_step is not None:
             on_step(step)
         if injector is not None:
@@ -105,6 +118,10 @@ class AttemptRecord:
     outcome: str  # "completed" | "crashed"
     error: Optional[str] = None
     backoff_s: float = 0.0
+    #: whether the crash was classified worth restarting for (see
+    #: :mod:`repro.runtime.errors`); non-retryable crashes re-raise
+    #: immediately instead of burning the restart budget
+    retryable: bool = True
 
 
 @dataclass
@@ -180,7 +197,14 @@ class SearchSupervisor:
                     injector=self._injector,
                     on_step=beat,
                 )
-            except Exception as error:  # noqa: BLE001 - restart on any crash
+            except Exception as error:  # noqa: BLE001 - classified below
+                retryable = is_retryable(error)
+                telemetry = getattr(search, "telemetry", None)
+                if telemetry is not None:
+                    telemetry.counter("supervisor.crashes").inc(
+                        error=type(error).__name__,
+                        retryable=str(retryable).lower(),
+                    )
                 attempts.append(
                     AttemptRecord(
                         attempt=attempt_index,
@@ -188,8 +212,20 @@ class SearchSupervisor:
                         steps_completed=completed,
                         outcome="crashed",
                         error=f"{type(error).__name__}: {error}",
+                        retryable=retryable,
                     )
                 )
+                if not retryable:
+                    # A deterministic bug: every restart would crash the
+                    # same way, so surface the real traceback now.
+                    if telemetry is not None:
+                        telemetry.event(
+                            "supervisor.abort",
+                            attempt=attempt_index,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                        telemetry.flush()
+                    raise
                 restarts_used = attempt_index - 1
                 if restarts_used >= self.config.max_restarts:
                     raise RestartBudgetExceeded(
@@ -198,6 +234,14 @@ class SearchSupervisor:
                     ) from error
                 backoff = self.config.backoff_for(restarts_used + 1)
                 attempts[-1].backoff_s = backoff
+                if telemetry is not None:
+                    telemetry.counter("supervisor.restarts").inc()
+                    telemetry.event(
+                        "supervisor.restart",
+                        attempt=attempt_index,
+                        error=f"{type(error).__name__}: {error}",
+                        backoff_s=backoff,
+                    )
                 if backoff > 0:
                     self._sleep(backoff)
                 continue
@@ -209,6 +253,14 @@ class SearchSupervisor:
                     outcome="completed",
                 )
             )
+            telemetry = getattr(search, "telemetry", None)
+            if telemetry is not None:
+                telemetry.event(
+                    "supervisor.completed",
+                    attempts=attempt_index,
+                    heartbeats=heartbeats,
+                    steps_replayed=replayed,
+                )
             return SupervisedResult(
                 result=run.result,
                 attempts=attempts,

@@ -1,0 +1,138 @@
+"""Render a human-readable summary of a telemetry directory.
+
+``python -m repro report telemetry <dir>`` lands here.  The report is
+built from the two artifacts a run leaves behind:
+
+* ``summary.json`` — the registry snapshot written at flush/close
+  (authoritative totals; survives crash-resume with bit-identical
+  run-scoped counters);
+* ``events/*.jsonl`` — the sealed event segments (what happened when:
+  step trajectory, checkpoint saves, restarts with crash
+  classification, corrupt-snapshot fallbacks).
+
+Either artifact may be missing (a run that never flushed, a summary
+copied without its events); the report renders whatever exists.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import Counter as TallyCounter
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import json
+
+from . import EVENTS_DIRNAME, SUMMARY_NAME
+from .events import read_events
+
+PathLike = Union[str, pathlib.Path]
+
+
+def load_summary(directory: PathLike) -> Optional[dict]:
+    """Parse ``summary.json`` under ``directory`` (None if absent)."""
+    path = pathlib.Path(directory) / SUMMARY_NAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def summarize_events(events: Sequence[Mapping[str, Any]]) -> dict:
+    """Aggregate a raw event stream into report-ready facts."""
+    kinds = TallyCounter(str(e.get("kind")) for e in events)
+    timestamps = [float(e["ts"]) for e in events if "ts" in e]
+    duration = max(timestamps) - min(timestamps) if len(timestamps) > 1 else 0.0
+    steps = [e for e in events if e.get("kind") == "search.step"]
+    unique_steps = {int(e["step"]) for e in steps if "step" in e}
+    summary = {
+        "events": len(events),
+        "kinds": dict(sorted(kinds.items())),
+        "duration_s": duration,
+        "steps_seen": len(steps),
+        "unique_steps": len(unique_steps),
+        #: step events minus unique steps = crash-rollback replays
+        "replayed_steps": len(steps) - len(unique_steps),
+        "step_rate": len(steps) / duration if duration > 0 else 0.0,
+    }
+    last_step = max(steps, key=lambda e: e.get("step", -1), default=None)
+    if last_step is not None:
+        summary["last_step"] = {
+            k: last_step[k]
+            for k in ("step", "reward", "quality", "entropy")
+            if k in last_step
+        }
+    return summary
+
+
+def _rows(title: str, rows: List[List[str]]) -> str:
+    if not rows:
+        return ""
+    widths = [max(len(str(row[i])) for row in rows) for i in range(len(rows[0]))]
+    lines = [title]
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _metric_rows(series: Mapping[str, Mapping[str, Any]], fmt) -> List[List[str]]:
+    rows = []
+    for name, by_label in sorted(series.items()):
+        for labels, value in sorted(by_label.items()):
+            shown = f"{name}{{{labels}}}" if labels else name
+            rows.append([shown, fmt(value)])
+    return rows
+
+
+def render_report(directory: PathLike) -> str:
+    """The full ``report telemetry`` text for one telemetry directory."""
+    directory = pathlib.Path(directory)
+    out: List[str] = [f"telemetry report: {directory}"]
+    summary = load_summary(directory)
+    if summary is None:
+        out.append(f"(no {SUMMARY_NAME} — run never flushed a summary)")
+    else:
+        counters = _metric_rows(summary.get("counters", {}), lambda v: f"{v}")
+        gauges = _metric_rows(summary.get("gauges", {}), lambda v: f"{v:.6g}")
+        spans = _metric_rows(
+            summary.get("histograms", {}),
+            lambda s: (
+                f"n={s['count']} total={s['total'] * 1e3:.1f}ms "
+                f"mean={s['mean'] * 1e3:.3f}ms max={s['max'] * 1e3:.3f}ms"
+            ),
+        )
+        out.append(_rows("counters:", counters) or "counters: (none)")
+        out.append(_rows("gauges:", gauges) or "gauges: (none)")
+        out.append(_rows("spans:", spans) or "spans: (none)")
+    events_dir = directory / EVENTS_DIRNAME
+    if not events_dir.exists():
+        out.append("(no event log)")
+        return "\n".join(part.rstrip("\n") for part in out if part) + "\n"
+    events = list(read_events(events_dir))
+    facts = summarize_events(events)
+    out.append(
+        f"events: {facts['events']} over {facts['duration_s']:.2f}s "
+        f"({facts['step_rate']:.1f} steps/s)"
+        if facts["events"]
+        else "events: 0"
+    )
+    if facts["steps_seen"]:
+        out.append(
+            f"steps: {facts['unique_steps']} unique, "
+            f"{facts['replayed_steps']} replayed after crashes"
+        )
+        last = facts.get("last_step")
+        if last:
+            detail = " ".join(
+                f"{k}={last[k]:.4g}" if isinstance(last[k], float) else f"{k}={last[k]}"
+                for k in ("step", "reward", "quality", "entropy")
+                if k in last
+            )
+            out.append(f"last step: {detail}")
+    out.append(
+        _rows(
+            "event kinds:",
+            [[kind, str(count)] for kind, count in facts["kinds"].items()],
+        )
+    )
+    return "\n".join(part.rstrip("\n") for part in out if part) + "\n"

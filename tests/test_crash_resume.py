@@ -51,7 +51,7 @@ def capacity_cost(arch):
     return {"step_time": max(0.1, cost), "model_size": max(0.1, cost)}
 
 
-def build_single(seed=0):
+def build_single(seed=0, telemetry=None):
     teacher = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed))
     return SingleStepSearch(
         space=build_space(),
@@ -59,11 +59,13 @@ def build_single(seed=0):
         pipeline=SingleStepPipeline(teacher.next_batch),
         reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
         performance_fn=capacity_cost,
-        config=SearchConfig(steps=STEPS, num_cores=2, warmup_steps=3, seed=seed),
+        config=SearchConfig(
+            steps=STEPS, num_cores=2, warmup_steps=3, seed=seed, telemetry=telemetry
+        ),
     )
 
 
-def build_tunas(seed=0):
+def build_tunas(seed=0, telemetry=None):
     teacher = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed))
     return TunasSearch(
         space=build_space(),
@@ -71,7 +73,9 @@ def build_tunas(seed=0):
         pipeline=TwoStreamPipeline(teacher.next_batch, train_batches=6, valid_batches=4),
         reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
         performance_fn=capacity_cost,
-        config=SearchConfig(steps=STEPS, num_cores=2, warmup_steps=3, seed=seed),
+        config=SearchConfig(
+            steps=STEPS, num_cores=2, warmup_steps=3, seed=seed, telemetry=telemetry
+        ),
     )
 
 
@@ -188,3 +192,96 @@ class TestSupervisedCrashResume:
         # Step 6 completed but its work died with the process; the
         # newest snapshot (6 completed steps) replays it exactly.
         assert_results_identical(reference, outcome.result, build().space)
+
+
+#: Run-scoped counters that must be bit-identical across crash/resume.
+RUN_COUNTERS = (
+    "search.steps",
+    "search.heartbeats",
+    "eval.candidates_priced",
+    "eval.evaluations",
+    "eval.cache.hits",
+    "eval.cache.misses",
+    "pipeline.batches",
+)
+
+
+class TestTelemetryCrashResume:
+    """Crash-resumed runs must report the same telemetry totals as
+    uninterrupted runs — run-scoped counters roll back with the
+    checkpoint, churn counters keep recording what really happened."""
+
+    @staticmethod
+    def _run_scoped(telemetry):
+        from repro.telemetry import CHURN_PREFIXES
+
+        snapshot = telemetry.registry.snapshot()
+        return {
+            kind: {
+                name: series
+                for name, series in snapshot[kind].items()
+                if not name.startswith(CHURN_PREFIXES)
+            }
+            for kind in ("counters", "gauges")
+        }
+
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    def test_counter_totals_identical_after_three_crashes(self, tmp_path, strategy):
+        from repro.runtime import run_with_checkpoints
+        from repro.telemetry import Telemetry
+
+        build = BUILDERS[strategy]
+        ref_tel = Telemetry()
+        run_with_checkpoints(build(telemetry=ref_tel), store=None)
+
+        # Crash before the first snapshot (fresh restart), at a
+        # checkpoint boundary, and mid-interval.
+        crash_tel = Telemetry()
+        injector = FaultInjector(
+            [
+                FaultSpec("crash", step=1),
+                FaultSpec("crash", step=4),
+                FaultSpec("crash", step=7),
+            ]
+        )
+        supervisor = SearchSupervisor(
+            lambda: build(telemetry=crash_tel),
+            CheckpointStore(tmp_path, keep_last=3),
+            SupervisorConfig(checkpoint_every=2, max_restarts=5, backoff_base_s=0.0),
+            injector=injector,
+            sleep_fn=lambda s: None,
+        )
+        outcome = supervisor.run()
+        assert outcome.restarts == 3
+
+        for name in RUN_COUNTERS:
+            assert crash_tel.counter(name).total() == ref_tel.counter(name).total(), name
+        assert crash_tel.counter("search.steps").total() == STEPS
+        # Every run-scoped counter and gauge series, not just the list above.
+        assert self._run_scoped(crash_tel) == self._run_scoped(ref_tel)
+        # Churn counters record the crashes and resumes that really happened.
+        assert crash_tel.counter("supervisor.crashes").total() == 3
+        assert crash_tel.counter("supervisor.restarts").total() == 3
+        assert crash_tel.counter("recovery.resumes").total() == 2
+        assert crash_tel.counter("checkpoint.saves").total() >= 1
+        # The uninterrupted reference saw none of that churn.
+        assert ref_tel.counter("supervisor.crashes").total() == 0
+
+    def test_telemetry_state_roundtrips_through_checkpoint(self, tmp_path):
+        """The telemetry registry state rides inside the snapshot payload."""
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        search = build_single(telemetry=telemetry)
+        history = [search.step(step) for step in range(4)]
+        store = CheckpointStore(tmp_path)
+        store.save(4, search_checkpoint_payload(search, 4, history))
+
+        fresh_tel = Telemetry()
+        fresh = build_single(telemetry=fresh_tel)
+        next_step, _, report = resume_search(store, fresh)
+        assert report.resumed and next_step == 4
+        assert fresh_tel.counter("search.steps").value() == 4
+        assert fresh_tel.counter("eval.candidates_priced").value() == telemetry.counter(
+            "eval.candidates_priced"
+        ).value()

@@ -349,3 +349,66 @@ class TestMemoizedEvaluate:
         arch = space.default_architecture()
         assert memo(arch) == memo(arch)
         assert memo.cache.hits == 1
+
+
+class TestPriceManyEvictionPressure:
+    """Pins the documented batched-vs-sequential cache divergence.
+
+    With more distinct keys in one shard than the cache has capacity,
+    ``price_many`` and a sequential ``price`` loop legitimately disagree
+    on counters and final LRU contents (see the ``price_many``
+    docstring).  These tests pin the exact divergence so any change to
+    the batching logic that silently alters it fails loudly.
+    """
+
+    SHARD = [0, 1, 2, 0]  # four draws, three distinct keys, one repeat
+
+    @staticmethod
+    def _arch(i):
+        return {"a": i % 3, "b": "x", "c": 4}
+
+    def _runtime(self, capacity):
+        fn = CountingPerformanceFn()
+        return EvalRuntime(fn, cache_capacity=capacity), fn
+
+    def _drawn(self):
+        return [(self._arch(i), (i,)) for i in self.SHARD]
+
+    def test_batched_counts_duplicate_as_hit(self):
+        runtime, fn = self._runtime(capacity=2)
+        results = runtime.price_many(self._drawn())
+        cache = runtime.cache
+        # The duplicate of the in-shard miss is classified as a hit
+        # before any insertion can evict it.
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 3, 1)
+        assert fn.calls == 3 and runtime.evaluations == 3
+        assert results[0] == results[3]
+        # Batch insertion order makes (0,) the LRU victim.
+        assert arch_key((0,)) not in cache
+        assert arch_key((1,)) in cache and arch_key((2,)) in cache
+
+    def test_sequential_loop_re_misses_evicted_duplicate(self):
+        runtime, fn = self._runtime(capacity=2)
+        for arch, indices in self._drawn():
+            runtime.price(arch, indices=indices)
+        cache = runtime.cache
+        # By the time the duplicate (0,) arrives it has been evicted, so
+        # the sequential order pays a fourth miss and evaluation.
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 4, 2)
+        assert fn.calls == 4 and runtime.evaluations == 4
+        assert arch_key((1,)) not in cache
+        assert arch_key((2,)) in cache and arch_key((0,)) in cache
+
+    def test_orders_agree_when_capacity_covers_shard(self):
+        batched, batched_fn = self._runtime(capacity=4)
+        sequential, sequential_fn = self._runtime(capacity=4)
+        batch_results = batched.price_many(self._drawn())
+        loop_results = [
+            sequential.price(arch, indices=indices)
+            for arch, indices in self._drawn()
+        ]
+        assert batch_results == loop_results
+        for runtime, fn in ((batched, batched_fn), (sequential, sequential_fn)):
+            cache = runtime.cache
+            assert (cache.hits, cache.misses, cache.evictions) == (1, 3, 0)
+            assert fn.calls == 3 and runtime.evaluations == 3
