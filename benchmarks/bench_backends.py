@@ -1,0 +1,151 @@
+"""Serial vs. thread-pool execution backends on latency-bound shards.
+
+At hyperscale the per-candidate work inside a search step is dominated
+by waiting on something other than the host interpreter: a supernet
+forward on an attached accelerator, a cost-model service round-trip, a
+device-table lookup.  The thread-pool backend exists to overlap those
+waits across the shard's candidates.  This benchmark replays a
+single-step search whose scoring and pricing carry a small synthetic
+device latency per candidate and measures end-to-end step wall-clock on
+``SerialBackend`` vs. ``ThreadPoolBackend`` — asserting the threaded
+run is >= 1.5x faster *and* bit-identical in its search trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    PerformanceObjective,
+    SearchConfig,
+    SingleStepSearch,
+    SurrogateSuperNetwork,
+    ThreadPoolBackend,
+    relu_reward,
+)
+from repro.data import CtrTaskConfig, CtrTeacher, SingleStepPipeline
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+
+from .common import emit, emit_json
+
+pytestmark = pytest.mark.slow
+
+NUM_TABLES = 3
+STEPS = 24
+CORES = 8
+WORKERS = 4
+SCORE_LATENCY = 2e-3  # one supernet forward on the attached device
+PRICE_LATENCY = 1e-3  # one cost-model service round-trip
+
+
+class LatencyBoundSupernet(SurrogateSuperNetwork):
+    """Surrogate whose per-candidate scoring waits on a device."""
+
+    def _quality_split(self, arch, inputs, labels, rng):
+        time.sleep(SCORE_LATENCY)
+        return super()._quality_split(arch, inputs, labels, rng)
+
+
+class LatencyBoundCost:
+    """Cost lookup with a service round-trip; safe to fan out."""
+
+    parallel_safe = True
+
+    def __call__(self, arch):
+        time.sleep(PRICE_LATENCY)
+        cost = 1.0
+        for t in range(NUM_TABLES):
+            cost += 0.05 * arch[f"emb{t}/width_delta"]
+        return {"step_time": max(0.1, cost)}
+
+
+def build_search(backend, steps=STEPS, cores=CORES, seed=0):
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2)
+    )
+    teacher = CtrTeacher(
+        CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed)
+    )
+    return SingleStepSearch(
+        space=space,
+        supernet=LatencyBoundSupernet(
+            lambda a: 1.0 - 0.01 * a["emb0/width_delta"],
+            noise_sigma=0.05,
+            seed=seed,
+            split_noise=True,
+        ),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+        performance_fn=LatencyBoundCost(),
+        config=SearchConfig(
+            steps=steps,
+            num_cores=cores,
+            warmup_steps=4,
+            record_candidates=False,
+            seed=seed,
+            backend=backend,
+        ),
+    )
+
+
+def _timed_run(backend, steps, cores):
+    search = build_search(backend, steps=steps, cores=cores)
+    started = time.perf_counter()
+    result = search.run()
+    return result, time.perf_counter() - started
+
+
+def run(steps=STEPS, cores=CORES, workers=WORKERS):
+    serial_result, serial_seconds = _timed_run("serial", steps, cores)
+    threaded_result, threaded_seconds = _timed_run(
+        ThreadPoolBackend(workers=workers), steps, cores
+    )
+
+    # Parallel execution must not change the search: bit-identical
+    # trajectory is the backend contract, not a tolerance check.
+    np.testing.assert_array_equal(
+        serial_result.rewards(), threaded_result.rewards()
+    )
+    np.testing.assert_array_equal(
+        serial_result.entropies(), threaded_result.entropies()
+    )
+
+    payload = {
+        "steps": steps,
+        "cores": cores,
+        "workers": workers,
+        "score_latency_s": SCORE_LATENCY,
+        "price_latency_s": PRICE_LATENCY,
+        "serial_seconds": serial_seconds,
+        "threaded_seconds": threaded_seconds,
+        "serial_step_ms": 1e3 * serial_seconds / steps,
+        "threaded_step_ms": 1e3 * threaded_seconds / steps,
+        "speedup": serial_seconds / max(threaded_seconds, 1e-12),
+        "trajectories_identical": True,
+    }
+    table = format_table(
+        ["backend", "total (s)", "per step (ms)", "speedup"],
+        [
+            ["serial", f"{serial_seconds:.2f}", f"{payload['serial_step_ms']:.1f}", "1.0x"],
+            [
+                f"threads x{workers}",
+                f"{threaded_seconds:.2f}",
+                f"{payload['threaded_step_ms']:.1f}",
+                f"{payload['speedup']:.1f}x",
+            ],
+        ],
+    )
+    emit("backends", table)
+    emit_json("backends", payload)
+    return payload
+
+
+def test_backends(benchmark):
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Acceptance: >= 1.5x step wall-clock from overlapping the shard's
+    # per-candidate device waits across workers.
+    assert payload["speedup"] >= 1.5, f"speedup only {payload['speedup']:.2f}x"

@@ -114,7 +114,14 @@ def _dlrm_step_time(num_tables: int):
     return step_time
 
 
-def _dlrm_search_builder(steps: int, seed: int, use_cache: bool, telemetry=None):
+def _dlrm_search_builder(
+    steps: int,
+    seed: int,
+    use_cache: bool,
+    telemetry=None,
+    backend=None,
+    workers=None,
+):
     """The quickstart DLRM search as (space, fresh-``H2ONas`` factory).
 
     A *factory* rather than an instance because the supervisor rebuilds
@@ -140,6 +147,7 @@ def _dlrm_search_builder(steps: int, seed: int, use_cache: bool, telemetry=None)
             config=SearchConfig(
                 steps=steps, num_cores=4, warmup_steps=10, seed=seed,
                 use_cache=use_cache, telemetry=telemetry,
+                backend=backend, workers=workers,
             ),
         )
 
@@ -159,7 +167,8 @@ def _make_telemetry(args: argparse.Namespace):
 def cmd_search(args: argparse.Namespace) -> str:
     telemetry = _make_telemetry(args)
     space, factory = _dlrm_search_builder(
-        args.steps, args.seed, args.cache, telemetry=telemetry
+        args.steps, args.seed, args.cache, telemetry=telemetry,
+        backend=args.backend, workers=args.workers,
     )
     nas = factory()
     result = nas.search(
@@ -190,7 +199,8 @@ def cmd_supervise(args: argparse.Namespace) -> str:
 
     telemetry = _make_telemetry(args)
     space, factory = _dlrm_search_builder(
-        args.steps, args.seed, args.cache, telemetry=telemetry
+        args.steps, args.seed, args.cache, telemetry=telemetry,
+        backend=args.backend, workers=args.workers,
     )
     store = CheckpointStore(
         args.checkpoint_dir, keep_last=args.keep_last, telemetry=telemetry
@@ -357,6 +367,21 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="record run telemetry (metrics summary + event log) "
             "into this directory; view with 'report telemetry'",
+        )
+        p.add_argument(
+            "--backend",
+            choices=["serial", "threads"],
+            default=None,
+            help="execution backend for per-core shard work "
+            "(default: $REPRO_BACKEND, then serial); all backends "
+            "produce bit-identical results",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker count for --backend threads "
+            "(default: $REPRO_WORKERS, then min(4, cpu cores))",
         )
 
     add_search_args(search, checkpoint_dir_required=False)

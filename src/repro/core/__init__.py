@@ -2,6 +2,14 @@
 
 from .controller import BaselineTracker, CategoricalPolicy, ReinforceController
 from .cost import NasCostModel
+from .engine import (
+    ExecutionBackend,
+    ResumableLoop,
+    SearchEngine,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from .eval_runtime import (
     ArchMetricsCache,
     BatchPerformanceFn,
@@ -58,8 +66,14 @@ __all__ = [
     "CategoricalPolicy",
     "EvalRuntime",
     "EvalRuntimeStats",
+    "ExecutionBackend",
     "MemoizedEvaluate",
+    "ResumableLoop",
+    "SearchEngine",
+    "SerialBackend",
+    "ThreadPoolBackend",
     "arch_key",
+    "resolve_backend",
     "group_unique_architectures",
     "EvolutionConfig",
     "EvolutionarySearch",

@@ -1,0 +1,52 @@
+"""Composable search engine: shared step pipeline, pluggable backends.
+
+See :mod:`repro.core.engine.engine` for the stage graph and
+:mod:`repro.core.engine.backends` for the execution/determinism
+contract.
+"""
+
+from .backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    WORKERS_ENV_VAR,
+    BackendSpec,
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    default_worker_count,
+    resolve_backend,
+)
+from .engine import (
+    CandidateRecord,
+    DrawnCandidate,
+    PerformanceFn,
+    SearchConfig,
+    SearchEngine,
+    SearchResult,
+    StepRecord,
+    SuperNetwork,
+    group_unique_architectures,
+)
+from .loop import ResumableLoop
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "WORKERS_ENV_VAR",
+    "BackendSpec",
+    "CandidateRecord",
+    "DrawnCandidate",
+    "ExecutionBackend",
+    "PerformanceFn",
+    "ResumableLoop",
+    "SearchConfig",
+    "SearchEngine",
+    "SearchResult",
+    "SerialBackend",
+    "StepRecord",
+    "SuperNetwork",
+    "ThreadPoolBackend",
+    "default_worker_count",
+    "group_unique_architectures",
+    "resolve_backend",
+]

@@ -1,0 +1,213 @@
+"""Pluggable execution backends for the search engine.
+
+The paper's first pillar is a *massively parallel* single-step search:
+``N`` accelerator cores score one shard of candidates concurrently,
+then the policy and the shared weights take one cross-shard update
+(Section 4).  The engine (:mod:`repro.core.engine.engine`) expresses
+every per-core computation as an order-preserving ``map`` over shard
+tasks, and this module supplies the things that map runs on:
+
+* :class:`SerialBackend` — the reference executor: one task after the
+  other on the calling thread.  The semantics every other backend must
+  reproduce bit-for-bit.
+* :class:`ThreadPoolBackend` — fans tasks out across a shared worker
+  pool.  Order-preserving reduction (results come back in task order,
+  never completion order) plus deterministic rng-stream splitting make
+  its results bit-identical to the serial backend: parallelism changes
+  wall-clock, never numerics.
+
+**Determinism contract.**  A backend may only be handed tasks whose
+outputs are independent of scheduling: pure functions of their inputs,
+or functions whose randomness comes from :meth:`rng_streams`.  Streams
+are split per *task* (not per worker thread) from a counter-stamped
+:class:`numpy.random.SeedSequence`, so task ``i`` of split ``k`` draws
+the same stream no matter how many workers exist or which thread runs
+it.  The split counter is part of :meth:`state_dict`, rides in search
+checkpoints, and restores on resume — crash-resumed runs replay the
+same streams an uninterrupted run would have drawn.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, TypeVar, Union
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variables consulted when a search does not pin a backend
+#: explicitly — the CI matrix runs the whole test suite under
+#: ``REPRO_BACKEND=threads`` to prove backend equivalence at scale.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Spec names accepted by :func:`resolve_backend`.
+BACKEND_NAMES = ("serial", "threads")
+
+
+class ExecutionBackend(ABC):
+    """Order-preserving task executor with deterministic rng splitting."""
+
+    #: short name used in CLI flags, telemetry labels, and snapshots
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._seed = int(seed)
+        #: how many stream splits this backend has handed out; part of
+        #: the checkpoint state so resumed runs continue the sequence
+        self._rng_spawns = 0
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in item order.
+
+        The reduction is order-preserving by contract: ``result[i]``
+        corresponds to ``items[i]`` regardless of which worker finished
+        first.  Exceptions raised by any task propagate to the caller.
+        """
+
+    def rng_streams(self, count: int) -> List[np.random.Generator]:
+        """``count`` independent generators for one fan-out, split
+        deterministically.
+
+        Stream ``i`` depends only on ``(seed, split_counter, i)`` — not
+        on worker count, thread identity, or scheduling — so serial and
+        pooled execution consume identical randomness.  Each call
+        advances the split counter (a new fan-out must not reuse the
+        previous fan-out's streams).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        sequence = np.random.SeedSequence(entropy=(self._seed, self._rng_spawns))
+        self._rng_spawns += 1
+        return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the backend's replayable state.
+
+        ``name``/``workers`` are recorded for observability only — the
+        equivalence contract makes backends interchangeable across a
+        resume — while ``rng_spawns`` must be restored for the stream
+        sequence to continue bit-identically.
+        """
+        return {
+            "name": self.name,
+            "workers": int(self.workers),
+            "rng_spawns": int(self._rng_spawns),
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (the split counter)."""
+        self._rng_spawns = int(state["rng_spawns"])
+
+    def close(self) -> None:
+        """Release any pooled resources (no-op for shared pools)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task on the calling thread, in order.
+
+    This is the reference semantics: no concurrency, no reordering,
+    exactly the execution the original sequential step loop performed.
+    """
+
+    name = "serial"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed=seed, workers=1)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+# Worker pools are shared per worker-count across backend instances:
+# tests and sweeps construct hundreds of short-lived searches, and
+# spinning an executor up and down for each would dominate their cost.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-engine-{workers}"
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def default_worker_count() -> int:
+    """Worker count when none is requested: min(4, available cores)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Fan tasks out across a shared thread pool, gathering in order.
+
+    NumPy releases the GIL inside its kernels and candidate pricing is
+    frequently latency- rather than compute-bound (simulator calls,
+    testbed measurements), so threads buy real step-time parallelism
+    without the serialization cost a process pool would add for
+    shard-sized payloads.  ``Executor.map`` yields results in submission
+    order, which is what keeps reductions (and therefore policy and
+    weight updates) bit-identical to :class:`SerialBackend`.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: Optional[int] = None, seed: int = 0):
+        super().__init__(
+            seed=seed,
+            workers=workers if workers is not None else default_worker_count(),
+        )
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        return list(_shared_pool(self.workers).map(fn, items))
+
+
+BackendSpec = Union[None, str, ExecutionBackend]
+
+
+def resolve_backend(
+    spec: BackendSpec = None,
+    workers: Optional[int] = None,
+    seed: int = 0,
+) -> ExecutionBackend:
+    """Build the execution backend a search asked for.
+
+    ``spec`` may be an :class:`ExecutionBackend` instance (returned as
+    is), a name from :data:`BACKEND_NAMES`, or ``None`` — in which case
+    the :envvar:`REPRO_BACKEND` environment variable decides, defaulting
+    to serial.  ``workers`` falls back to :envvar:`REPRO_WORKERS`, then
+    to :func:`default_worker_count`.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or "serial"
+    if workers is None:
+        env_workers = os.environ.get(WORKERS_ENV_VAR)
+        workers = int(env_workers) if env_workers else None
+    spec = str(spec).lower()
+    if spec == "serial":
+        return SerialBackend(seed=seed)
+    if spec in ("threads", "thread", "threadpool"):
+        return ThreadPoolBackend(workers=workers, seed=seed)
+    raise ValueError(
+        f"unknown execution backend {spec!r}; expected one of {BACKEND_NAMES}"
+    )

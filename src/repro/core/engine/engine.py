@@ -1,0 +1,602 @@
+"""The shared search-step engine behind both RL search strategies.
+
+Historically :class:`~repro.core.search.SingleStepSearch` and
+:class:`~repro.core.search.TunasSearch` were two ~250-line monoliths
+that each re-implemented the same pipeline — sampling, shard scoring,
+pricing, reward assembly, policy and weight updates — with small,
+easy-to-diverge differences.  This module factors that pipeline into a
+:class:`SearchEngine` base class of explicit, individually-timed stages
+
+    ``sample -> fetch_shard -> score -> price -> reward ->
+    policy_update -> weight_update``
+
+so a strategy is reduced to *stage configuration*: which stages run, in
+which order, on which data stream (TuNAS alternates a weight step on the
+train split with a policy step on the validation split; the H2O
+single-step strategy runs one unified step on fresh production traffic).
+
+Per-core work — shard scoring, per-core weight-gradient computation,
+cache-miss pricing — fans out through an
+:class:`~repro.core.engine.backends.ExecutionBackend`.  Three rules keep
+every backend bit-identical to serial execution:
+
+* only scheduling-independent tasks are fanned out: deterministic pure
+  functions (stacked supernet passes, parallel-safe performance
+  functions) or tasks drawing from deterministically split rng streams
+  (:meth:`ExecutionBackend.rng_streams`);
+* reductions are order-preserving — per-core results are gathered in
+  shard order, so means, REINFORCE updates, and gradient accumulation
+  see the same operand order regardless of completion order;
+* everything stateful that is *not* scheduling-independent (stochastic
+  quality signals without split-rng support, autograd ``backward`` into
+  shared parameters, pipeline bookkeeping, the controller) stays on the
+  engine thread in strict shard order.
+
+The engine also owns the stepwise checkpoint protocol (``step()`` /
+``build_result()`` / ``state_dict()``) that the fault-tolerant runtime
+drives; backend worker/rng-split state rides in every snapshot so a
+crash-resumed run keeps its bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ...data.batch import Batch
+from ...searchspace.base import Architecture, SearchSpace
+from ...supernet.batching import StackedScoring
+from ..controller import ReinforceController
+from ..eval_runtime import (
+    STAGE_FETCH_SHARD,
+    STAGE_POLICY_UPDATE,
+    STAGE_PRICE,
+    STAGE_REWARD,
+    STAGE_SAMPLE,
+    STAGE_SCORE,
+    STAGE_WEIGHT_UPDATE,
+    ArchKey,
+    EvalRuntime,
+    EvalRuntimeStats,
+    arch_key,
+)
+from ..reward import RewardFunction
+from .backends import BackendSpec, ExecutionBackend, resolve_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ...nn import Optimizer
+    from ...telemetry import Telemetry
+
+PerformanceFn = Callable[[Architecture], Mapping[str, float]]
+
+#: One sampled candidate: (architecture, decision-index vector).
+DrawnCandidate = Tuple[Architecture, Sequence[int]]
+
+
+class SuperNetwork(Protocol):
+    """What the searches need from a super-network."""
+
+    def quality(self, arch: Architecture, inputs, labels) -> float: ...
+
+    def loss(self, arch: Architecture, inputs, labels): ...
+
+    def parameters(self): ...
+
+    def zero_grad(self) -> None: ...
+
+
+def group_unique_architectures(
+    drawn: Sequence[DrawnCandidate],
+) -> List[List[int]]:
+    """Shard positions grouped by sampled architecture, first-seen order.
+
+    Late in a search the policy has converged and most of the
+    ``num_cores`` cores sample the *same* architecture; grouping them
+    lets the score and weight-update stages run one super-network pass
+    per unique architecture instead of one per core — and gives the
+    execution backend its unit of fan-out.
+    """
+    groups: "OrderedDict[ArchKey, List[int]]" = OrderedDict()
+    for position, (_, indices) in enumerate(drawn):
+        groups.setdefault(arch_key(indices), []).append(position)
+    return list(groups.values())
+
+
+@dataclass
+class CandidateRecord:
+    """One evaluated candidate within one search step."""
+
+    architecture: Architecture
+    quality: float
+    metrics: Dict[str, float]
+    reward: float
+
+
+@dataclass
+class StepRecord:
+    """Aggregate view of one search step."""
+
+    step: int
+    mean_reward: float
+    mean_quality: float
+    policy_entropy: float
+    candidates: List[CandidateRecord] = field(default_factory=list)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a completed search.
+
+    ``eval_stats`` carries the evaluation runtime's instrumentation:
+    cache hit/miss counters and per-stage wall time
+    (sample/fetch_shard/score/price/reward/policy_update/weight_update).
+    """
+
+    final_architecture: Architecture
+    history: List[StepRecord]
+    batches_used: int
+    eval_stats: Optional[EvalRuntimeStats] = None
+
+    @property
+    def all_candidates(self) -> List[CandidateRecord]:
+        return [c for step in self.history for c in step.candidates]
+
+    def rewards(self) -> np.ndarray:
+        return np.array([s.mean_reward for s in self.history])
+
+    def entropies(self) -> np.ndarray:
+        return np.array([s.policy_entropy for s in self.history])
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs shared by both search algorithms."""
+
+    steps: int = 100
+    num_cores: int = 4  # parallel accelerators (single-step search only)
+    policy_lr: float = 0.3
+    weight_lr: float = 0.005
+    policy_entropy_coef: float = 0.0  # exploration bonus for the controller
+    warmup_steps: int = 10  # weight-only steps before policy updates begin
+    record_candidates: bool = True
+    seed: int = 0
+    use_cache: bool = True  # memoize performance_fn by decision indices
+    cache_size: int = 4096  # LRU capacity of the metrics cache
+    #: run one supernet pass per *unique* sampled architecture by
+    #: stacking same-arch core batches (needs a supernet implementing
+    #: the StackedScoring protocol, e.g. via StackedScoringMixin; other
+    #: supernets keep the per-core path)
+    group_unique: bool = True
+    #: execution backend for per-core fan-out: an
+    #: :class:`ExecutionBackend` instance, a name (``"serial"`` /
+    #: ``"threads"``), or ``None`` to consult ``$REPRO_BACKEND`` and
+    #: default to serial.  All backends are bit-identical by contract.
+    backend: Optional[Union[str, ExecutionBackend]] = field(
+        default=None, compare=False
+    )
+    #: worker count for pooled backends (``None``: ``$REPRO_WORKERS``,
+    #: then min(4, cores))
+    workers: Optional[int] = None
+    #: shared :class:`repro.telemetry.Telemetry` handle; when set, the
+    #: search records per-step spans, reward/entropy/penalty gauges and
+    #: step events, attaches it to its eval runtime and pipeline, and
+    #: includes run-scoped counter state in checkpoint snapshots
+    telemetry: Optional["Telemetry"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.steps < 1 or self.num_cores < 1:
+            raise ValueError("steps and num_cores must be >= 1")
+        if self.warmup_steps < 0:
+            raise ValueError("warmup_steps must be >= 0")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+def _record_step_telemetry(
+    telemetry: Optional["Telemetry"], record: StepRecord
+) -> None:
+    """Account one completed step to the shared telemetry (no-op if off).
+
+    ``search.penalty`` is the mean cost the reward function charged the
+    shard (quality minus reward) — positive when hardware targets are
+    being missed, ~0 once the policy prices candidates on target.
+    """
+    if telemetry is None:
+        return
+    telemetry.counter("search.steps").inc()
+    telemetry.gauge("search.reward").set(record.mean_reward)
+    telemetry.gauge("search.quality").set(record.mean_quality)
+    telemetry.gauge("search.entropy").set(record.policy_entropy)
+    telemetry.gauge("search.penalty").set(record.mean_quality - record.mean_reward)
+    telemetry.event(
+        "search.step",
+        step=record.step,
+        reward=record.mean_reward,
+        quality=record.mean_quality,
+        entropy=record.policy_entropy,
+    )
+
+
+class SearchEngine:
+    """Composable step pipeline shared by every RL search strategy.
+
+    Subclasses implement :meth:`_step` by composing the stage primitives
+    below and :meth:`_batches_used` for result accounting; everything
+    else — construction, telemetry wiring, the stepwise checkpoint
+    protocol, and the backend fan-out discipline — is shared here.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        supernet: SuperNetwork,
+        pipeline: Any,
+        reward_fn: RewardFunction,
+        performance_fn: PerformanceFn,
+        config: Optional[SearchConfig] = None,
+        eval_runtime: Optional[EvalRuntime] = None,
+    ):
+        config = config if config is not None else SearchConfig()
+        self.space = space
+        self.supernet = supernet
+        self.pipeline = pipeline
+        self.reward_fn = reward_fn
+        self.performance_fn = performance_fn
+        self.config = config
+        self.telemetry = config.telemetry
+        self.backend = resolve_backend(
+            config.backend, workers=config.workers, seed=config.seed
+        )
+        self.runtime = eval_runtime or EvalRuntime(
+            performance_fn,
+            space=space,
+            use_cache=config.use_cache,
+            cache_capacity=config.cache_size,
+        )
+        self.runtime.attach_backend(self.backend)
+        if self.telemetry is not None:
+            self.runtime.attach_telemetry(self.telemetry)
+            self.pipeline.attach_telemetry(self.telemetry)
+            self.telemetry.gauge("engine.workers").set(
+                self.backend.workers, backend=self.backend.name
+            )
+        self.controller = ReinforceController(
+            space,
+            learning_rate=config.policy_lr,
+            entropy_coef=config.policy_entropy_coef,
+            seed=config.seed,
+        )
+        from ...nn import Adam
+
+        self._optimizer: "Optimizer" = Adam(
+            supernet.parameters(), lr=config.weight_lr
+        )
+        self._warmup_rng = np.random.default_rng(config.seed + 1)
+
+    # ------------------------------------------------------------------
+    # Stepwise driver protocol (checkpointed execution)
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        history = [self.step(step) for step in range(self.config.steps)]
+        return self.build_result(history)
+
+    def step(self, step: int) -> StepRecord:
+        """Run one search step; the unit the supervisor checkpoints at."""
+        if self.telemetry is None:
+            return self._step(step)
+        with self.telemetry.span("step"):
+            record = self._step(step)
+        _record_step_telemetry(self.telemetry, record)
+        return record
+
+    def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
+        """Assemble the result from externally-driven step records."""
+        return SearchResult(
+            final_architecture=self.controller.best_architecture(),
+            history=list(history),
+            batches_used=self._batches_used(),
+            eval_stats=self.runtime.stats(),
+        )
+
+    def _step(self, step: int) -> StepRecord:
+        raise NotImplementedError
+
+    def _batches_used(self) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpoint state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything this search mutates, for bit-identical resume."""
+        from ...runtime.checkpoint import supernet_state
+
+        state = {
+            "controller": self.controller.state_dict(),
+            "optimizer": self._optimizer.state_dict(),
+            "supernet": supernet_state(self.supernet),
+            "warmup_rng": self._warmup_rng.bit_generator.state,
+            "pipeline": self.pipeline.state_dict(),
+            "runtime": self.runtime.export_state(),
+            "backend": self.backend.state_dict(),
+        }
+        if self.telemetry is not None:
+            state["telemetry"] = self.telemetry.export_state()
+        return state
+
+    def load_state_dict(self, state: Mapping) -> None:
+        from ...runtime.checkpoint import restore_supernet_state
+
+        self.controller.load_state_dict(state["controller"])
+        self._optimizer.load_state_dict(state["optimizer"])
+        restore_supernet_state(self.supernet, state["supernet"])
+        self._warmup_rng.bit_generator.state = state["warmup_rng"]
+        self.pipeline.load_state_dict(state["pipeline"])
+        self.runtime.import_state(state["runtime"])
+        backend_state = state.get("backend")
+        if backend_state is not None:  # absent in pre-engine snapshots
+            self.backend.load_state_dict(backend_state)
+        telemetry_state = state.get("telemetry")
+        if self.telemetry is not None and telemetry_state is not None:
+            self.telemetry.import_state(telemetry_state)
+
+    # ------------------------------------------------------------------
+    # Backend fan-out
+    # ------------------------------------------------------------------
+    def _fan_out(self, stage: str, fn: Callable[[Any], Any], items: Sequence) -> List:
+        """Run per-core tasks through the backend, order-preserving.
+
+        Tasks handed here must be scheduling-independent (see the module
+        docstring).  Per-task wall time is measured inside the worker
+        (an index-slotted write, safe under concurrent execution) and
+        accounted to the ``span.worker`` histogram after the gather, on
+        the engine thread — the metrics registry itself is not touched
+        from workers.
+        """
+        items = list(items)
+        if not items:
+            return []
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self.backend.map(fn, items)
+        durations = [0.0] * len(items)
+
+        def timed_task(slot_item: Tuple[int, Any]) -> Any:
+            slot, item = slot_item
+            start = time.perf_counter()
+            result = fn(item)
+            durations[slot] = time.perf_counter() - start
+            return result
+
+        results = self.backend.map(timed_task, list(enumerate(items)))
+        telemetry.counter("engine.tasks").inc(
+            len(items), stage=stage, backend=self.backend.name
+        )
+        for seconds in durations:
+            telemetry.trace.record(
+                "worker", seconds, stage=stage, backend=self.backend.name
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Stage primitives
+    # ------------------------------------------------------------------
+    def sample_shard(self, count: int, warming_up: bool) -> List[DrawnCandidate]:
+        """Stage *sample*: draw the shard's candidates.
+
+        Warmup steps draw uniformly from the search space (weight-only
+        training); afterwards the shard comes from one vectorized policy
+        draw.  Both paths consume their rng streams on the engine thread
+        so sampling is identical across backends.
+        """
+        if warming_up:
+            drawn = []
+            for _ in range(count):
+                arch = self.space.sample(self._warmup_rng)
+                drawn.append((arch, self.space.indices_of(arch)))
+            return drawn
+        return self.controller.sample_many(count)
+
+    def score_shard(
+        self,
+        drawn: Sequence[DrawnCandidate],
+        batches: Sequence[Batch],
+        groups: Optional[List[List[int]]],
+    ) -> List[float]:
+        """Stage *score*: per-core qualities, each core on its own batch.
+
+        Supernets implementing :class:`~repro.supernet.StackedScoring`
+        run one deterministic stacked pass per unique architecture,
+        fanned out across the backend's workers.  Supernets exposing
+        ``quality_split`` (stochastic signals with split-rng support)
+        fan out per core with deterministic per-task rng streams.
+        Everything else scores serially, in core order, so stochastic
+        quality signals consume their rng streams exactly as the
+        sequential implementation did.
+        """
+        quality_split = getattr(self.supernet, "quality_split", None)
+        if quality_split is not None:
+            streams = self.backend.rng_streams(len(drawn))
+            return [
+                float(v)
+                for v in self._fan_out(
+                    STAGE_SCORE,
+                    lambda task: quality_split(
+                        task[0][0], task[1].inputs, task[1].labels, task[2]
+                    ),
+                    list(zip(drawn, batches, streams)),
+                )
+            ]
+        if groups is None or not isinstance(self.supernet, StackedScoring):
+            return [
+                self.supernet.quality(arch, batch.inputs, batch.labels)
+                for batch, (arch, _) in zip(batches, drawn)
+            ]
+        quality_many = self.supernet.quality_many
+
+        def score_group(positions: List[int]) -> List[float]:
+            arch = drawn[positions[0]][0]
+            return quality_many(
+                arch,
+                [batches[i].inputs for i in positions],
+                [batches[i].labels for i in positions],
+            )
+        per_group = self._fan_out(STAGE_SCORE, score_group, groups)
+        qualities: List[float] = [0.0] * len(drawn)
+        for positions, values in zip(groups, per_group):
+            for position, value in zip(positions, values):
+                qualities[position] = float(value)
+        return qualities
+
+    def score_on_batch(
+        self, drawn: Sequence[DrawnCandidate], batch: Batch
+    ) -> List[float]:
+        """Stage *score*, shared-batch variant: every candidate on one
+        validation batch (the TuNAS policy step).
+
+        Deterministic supernets fan out one task per candidate;
+        split-rng supernets get per-task streams; stochastic supernets
+        without split support stay serial in shard order.
+        """
+        quality_split = getattr(self.supernet, "quality_split", None)
+        if quality_split is not None:
+            streams = self.backend.rng_streams(len(drawn))
+            return [
+                float(v)
+                for v in self._fan_out(
+                    STAGE_SCORE,
+                    lambda task: quality_split(
+                        task[0][0], batch.inputs, batch.labels, task[1]
+                    ),
+                    list(zip(drawn, streams)),
+                )
+            ]
+        if isinstance(self.supernet, StackedScoring):
+            quality = self.supernet.quality
+            return self._fan_out(
+                STAGE_SCORE,
+                lambda cand: quality(cand[0], batch.inputs, batch.labels),
+                drawn,
+            )
+        return [
+            self.supernet.quality(cand, batch.inputs, batch.labels)
+            for cand, _ in drawn
+        ]
+
+    def price_shard(
+        self, drawn: Sequence[DrawnCandidate]
+    ) -> List[Dict[str, float]]:
+        """Stage *price*: the whole shard through the memoized runtime.
+
+        Cache misses share one vectorized evaluation when the
+        performance fn is batchable, or fan out across the backend's
+        workers when it declares itself ``parallel_safe``.
+        """
+        return self.runtime.price_many(drawn)
+
+    def assemble_candidates(
+        self,
+        drawn: Sequence[DrawnCandidate],
+        qualities: Sequence[float],
+        all_metrics: Sequence[Mapping[str, float]],
+    ) -> Tuple[List[CandidateRecord], List[Tuple[np.ndarray, float]]]:
+        """Stage *reward*: fold qualities and metrics into rewards.
+
+        Returns the step's candidate records plus the ``(indices,
+        reward)`` pairs the policy update consumes.
+        """
+        candidates: List[CandidateRecord] = []
+        samples: List[Tuple[np.ndarray, float]] = []
+        for (arch, indices), quality, metrics in zip(drawn, qualities, all_metrics):
+            reward = self.reward_fn(quality, metrics)
+            samples.append((indices, reward))
+            candidates.append(CandidateRecord(arch, quality, dict(metrics), reward))
+        return candidates, samples
+
+    def policy_update(self, samples: Sequence[Tuple[np.ndarray, float]]) -> None:
+        """Stage *policy_update*: one cross-shard REINFORCE step.
+
+        Always on the engine thread — the update must see the gathered
+        shard in order, and stays bit-identical across backends because
+        every input to it does.
+        """
+        self.controller.update(samples)
+
+    def accumulate_shard_gradient(
+        self,
+        drawn: Sequence[DrawnCandidate],
+        batches: Sequence[Batch],
+        groups: Optional[List[List[int]]],
+    ) -> None:
+        """Stage *weight_update* (gradient half): cross-shard gradients.
+
+        The sequential path backprops ``loss_i / num_cores`` per core;
+        the grouped path backprops ``loss_many * (group_size /
+        num_cores)`` per unique architecture — the same gradient in
+        ``len(groups)`` supernet passes.  With a parallel backend the
+        *forward* graphs build concurrently (pure reads of the shared
+        weights), while every ``backward`` — which accumulates into the
+        shared parameter gradients — runs on the engine thread in group
+        order, so the float accumulation order matches serial execution
+        exactly.
+        """
+        num_cores = self.config.num_cores
+        if groups is None or not isinstance(self.supernet, StackedScoring):
+            for batch, (arch, _) in zip(batches, drawn):
+                loss = self.supernet.loss(arch, batch.inputs, batch.labels)
+                (loss * (1.0 / num_cores)).backward()
+            return
+        loss_many = self.supernet.loss_many
+
+        def build_group_loss(positions: List[int]):
+            arch = drawn[positions[0]][0]
+            loss = loss_many(
+                arch,
+                [batches[i].inputs for i in positions],
+                [batches[i].labels for i in positions],
+            )
+            return loss * (len(positions) / num_cores)
+
+        for scaled_loss in self._fan_out(
+            STAGE_WEIGHT_UPDATE, build_group_loss, groups
+        ):
+            scaled_loss.backward()
+
+    def train_weights_on(self, arch: Architecture, batch: Batch) -> None:
+        """Stage *weight_update*, single-candidate variant (TuNAS train
+        split): one forward/backward plus an optimizer step."""
+        self.supernet.zero_grad()
+        self.supernet.loss(arch, batch.inputs, batch.labels).backward()
+        self._optimizer.step()
+
+    def make_record(
+        self, step: int, candidates: Sequence[CandidateRecord]
+    ) -> StepRecord:
+        """Aggregate one completed step into its history record."""
+        return StepRecord(
+            step=step,
+            mean_reward=float(np.mean([c.reward for c in candidates])),
+            mean_quality=float(np.mean([c.quality for c in candidates])),
+            policy_entropy=self.controller.entropy(),
+            candidates=list(candidates) if self.config.record_candidates else [],
+        )

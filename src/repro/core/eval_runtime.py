@@ -11,8 +11,8 @@ the repo's search loops behave the same way:
   canonical decision-index tuple, memoizing ``performance_fn`` results;
 * :class:`EvalRuntime` — the layer between the search algorithms and the
   performance signal: cached pricing plus lightweight instrumentation
-  (cache hits/misses, per-stage wall time for
-  sample/score/price/policy-update/weight-update);
+  (cache hits/misses, per-stage wall time for every engine stage:
+  sample/fetch-shard/score/price/reward/policy-update/weight-update);
 * :class:`MemoizedEvaluate` — the same memoization for the multi-trial
   baselines, whose ``evaluate_fn`` stands for one full trial.
 
@@ -51,16 +51,22 @@ ArchKey = Tuple[int, ...]
 #: callers must use these constants, and :meth:`EvalRuntime.timed`
 #: rejects anything else.
 STAGE_SAMPLE = "sample"
+STAGE_FETCH_SHARD = "fetch_shard"
 STAGE_SCORE = "score"
 STAGE_PRICE = "price"
+STAGE_REWARD = "reward"
 STAGE_POLICY_UPDATE = "policy_update"
 STAGE_WEIGHT_UPDATE = "weight_update"
 
-#: Stage names the searches report wall time for, in pipeline order.
+#: Stage names the searches report wall time for, in pipeline order
+#: (the engine's stage graph: sample -> fetch_shard -> score -> price
+#: -> reward -> policy_update -> weight_update).
 STAGES = (
     STAGE_SAMPLE,
+    STAGE_FETCH_SHARD,
     STAGE_SCORE,
     STAGE_PRICE,
+    STAGE_REWARD,
     STAGE_POLICY_UPDATE,
     STAGE_WEIGHT_UPDATE,
 )
@@ -140,6 +146,34 @@ class ArchMetricsCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def plan(self, keys: Sequence[ArchKey]) -> List[bool]:
+        """Hit/miss outcome of a sequential get/put pass over ``keys``.
+
+        Simulates the LRU discipline (recency promotion on hit,
+        insertion plus oldest-entry eviction on miss) against a
+        keys-only copy of the current contents, without touching the
+        real entries or counters.  This is what lets
+        :meth:`EvalRuntime.price_many` know, *before* evaluating
+        anything, exactly which shard positions a sequential
+        ``price()`` loop would have had to evaluate — including a
+        duplicate whose first occurrence gets evicted mid-shard and so
+        misses twice.
+        """
+        simulated: "OrderedDict[ArchKey, None]" = OrderedDict(
+            (key, None) for key in self._entries
+        )
+        outcomes: List[bool] = []
+        for key in keys:
+            if key in simulated:
+                simulated.move_to_end(key)
+                outcomes.append(True)
+            else:
+                simulated[key] = None
+                if len(simulated) > self.capacity:
+                    simulated.popitem(last=False)
+                outcomes.append(False)
+        return outcomes
 
     def export_state(self) -> dict:
         """JSON-ready snapshot: counters plus entries in LRU order."""
@@ -267,11 +301,28 @@ class EvalRuntime:
         #: shared :class:`repro.telemetry.Telemetry`; cache/pricing
         #: counters and stage spans mirror into it when attached
         self.telemetry = telemetry
+        #: execution backend for fanning out per-architecture cache-miss
+        #: evaluations (see :meth:`attach_backend`)
+        self.backend: Optional[Any] = None
 
     def attach_telemetry(self, telemetry: Any) -> None:
         """Attach a telemetry handle unless one is already set."""
         if self.telemetry is None:
             self.telemetry = telemetry
+
+    def attach_backend(self, backend: Any) -> None:
+        """Attach the search engine's execution backend.
+
+        With a multi-worker backend attached, :meth:`_evaluate_batch`'s
+        per-architecture fallback fans out across workers — but only
+        for performance functions that declare ``parallel_safe = True``:
+        pricing backends are frequently stateful (simulators, testbed
+        clients, counting test doubles), and racing those would break
+        both their bookkeeping and the backend-equivalence contract.
+        Vectorized ``price_batch`` functions are unaffected; they
+        already amortize the shard in one call.
+        """
+        self.backend = backend
 
     def _pricing_marks(self) -> Tuple[int, int, int, int]:
         cache = self.cache
@@ -309,7 +360,13 @@ class EvalRuntime:
     def _evaluate_batch(
         self, archs: Sequence[Architecture]
     ) -> List[Dict[str, float]]:
-        """Evaluate ``archs`` in one vectorized call when possible."""
+        """Evaluate ``archs`` in one vectorized call when possible.
+
+        Order of preference: the fn's own ``price_batch`` (one
+        vectorized call), then a worker fan-out through the attached
+        backend for ``parallel_safe`` functions, then a sequential
+        per-architecture loop.
+        """
         self.evaluations += len(archs)
         if self.batch_fn is not None:
             metrics_list = [dict(m) for m in self.batch_fn(archs)]
@@ -319,6 +376,14 @@ class EvalRuntime:
                     f"{len(archs)} architectures"
                 )
             return metrics_list
+        backend = self.backend
+        if (
+            backend is not None
+            and backend.workers > 1
+            and len(archs) > 1
+            and getattr(self.performance_fn, "parallel_safe", False)
+        ):
+            return [dict(m) for m in backend.map(self.performance_fn, list(archs))]
         return [dict(self.performance_fn(a)) for a in archs]
 
     # ------------------------------------------------------------------
@@ -354,22 +419,21 @@ class EvalRuntime:
     ) -> List[Dict[str, float]]:
         """Price a whole shard of ``(arch, indices)`` pairs in one pass.
 
-        The shard is partitioned into cache hits and misses; all misses
-        are evaluated in *one* :class:`BatchPerformanceFn` call when the
-        performance function is batchable (falling back to per-arch
-        calls otherwise) and inserted into the cache in one pass.
-        Returned metrics always match a sequential
-        ``[price(a, i) for a, i in drawn]`` loop, and so do cache
-        counters and contents — *except* when a single shard holds more
-        distinct keys than the cache has free capacity.  Under that
-        eviction pressure the two orders legitimately diverge: the
-        sequential loop may evict an earlier in-shard key and re-miss
-        its duplicate, while the batched path classifies hits before any
-        insertion, so a duplicate of an in-shard miss always counts as
-        the hit it would have been had nothing been evicted, and the
-        final LRU contents reflect batch insertion order.  This is pinned
-        by ``tests/test_eval_runtime.py::TestPriceManyEvictionPressure``;
-        size the cache above the shard width to stay in the exact regime.
+        Sequentially equivalent by construction: a *plan* pass
+        (:meth:`ArchMetricsCache.plan`) simulates the LRU discipline
+        over the shard's keys to learn which positions a sequential
+        ``[price(a, i) for a, i in drawn]`` loop would have evaluated —
+        including re-evaluations of a duplicate whose first occurrence
+        was evicted mid-shard under eviction pressure.  Those positions
+        are evaluated together (one :class:`BatchPerformanceFn` call
+        when the fn is batchable, a worker fan-out for ``parallel_safe``
+        fns, a sequential loop otherwise), and then a *replay* pass
+        applies the shard to the real cache in sequential order,
+        splicing in the precomputed metrics.  Returned metrics, cache
+        counters, evaluation counts, and final LRU contents are
+        bit-identical to the sequential loop in every regime, eviction
+        pressure included — pinned by
+        ``tests/test_eval_runtime.py::TestPriceManyEvictionPressure``.
         """
         pairs = list(drawn)
         marks = self._pricing_marks()
@@ -377,32 +441,26 @@ class EvalRuntime:
         try:
             if self.cache is None:
                 return self._evaluate_batch([arch for arch, _ in pairs])
-            results: List[Optional[Dict[str, float]]] = [None] * len(pairs)
-            #: first-seen order of in-shard misses: key -> shard positions
-            miss_positions: "OrderedDict[ArchKey, List[int]]" = OrderedDict()
-            miss_archs: List[Architecture] = []
-            for position, (arch, indices) in enumerate(pairs):
-                key = self._key(arch, indices)
-                if key in miss_positions:
-                    # A sequential loop would have cached the first
-                    # occurrence by now, so this one is a hit.
-                    self.cache.hits += 1
-                    miss_positions[key].append(position)
-                    continue
+            keys = [self._key(arch, indices) for arch, indices in pairs]
+            will_hit = self.cache.plan(keys)
+            miss_archs = [
+                pairs[position][0]
+                for position, hit in enumerate(will_hit)
+                if not hit
+            ]
+            miss_metrics = iter(
+                self._evaluate_batch(miss_archs) if miss_archs else ()
+            )
+            results: List[Dict[str, float]] = []
+            for key in keys:
                 cached = self.cache.get(key)
                 if cached is not None:
-                    results[position] = dict(cached)
+                    results.append(dict(cached))
                 else:
-                    miss_positions[key] = [position]
-                    miss_archs.append(arch)
-            if miss_archs:
-                for key, metrics in zip(
-                    miss_positions, self._evaluate_batch(miss_archs)
-                ):
+                    metrics = next(miss_metrics)
                     self.cache.put(key, metrics)
-                    for position in miss_positions[key]:
-                        results[position] = dict(metrics)
-            return results  # type: ignore[return-value]  # all filled above
+                    results.append(dict(metrics))
+            return results
         finally:
             self._record_pricing(len(pairs), marks)
 

@@ -21,6 +21,7 @@ from typing import Callable, Deque, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..searchspace.base import Architecture, SearchSpace
+from .engine import ResumableLoop
 from .eval_runtime import MemoizedEvaluate
 from .reward import RewardFunction
 
@@ -82,14 +83,14 @@ class MultiTrialResult:
         return np.maximum.accumulate(self.rewards())
 
 
-class _ResumableTrialLoop:
+class _ResumableTrialLoop(ResumableLoop):
     """Shared stepwise/checkpoint machinery of the multi-trial searches.
 
     Trials accumulate on ``self.trials``; ``step()`` runs one trial, so
-    the driver (``run`` here, or an external supervisor) can snapshot at
-    any trial boundary.  The rng and the memoized-evaluation cache are
-    part of the state, so a resumed search replays the remaining trials
-    bit-identically.
+    the driver (:meth:`ResumableLoop.run_resumable` via ``run``, or an
+    external supervisor) can snapshot at any trial boundary.  The rng
+    and the memoized-evaluation cache are part of the state, so a
+    resumed search replays the remaining trials bit-identically.
     """
 
     def _target_trials(self) -> int:
@@ -98,42 +99,24 @@ class _ResumableTrialLoop:
     def step(self) -> Trial:
         raise NotImplementedError
 
+    # -- ResumableLoop unit semantics: one unit = one trial -------------
+    def _completed_units(self) -> int:
+        return len(self.trials)
+
+    def _target_units(self) -> int:
+        return self._target_trials()
+
+    def _advance(self) -> None:
+        self.step()
+
     def run(self, store=None, checkpoint_every: int = 25, resume: bool = True) -> MultiTrialResult:
         """Run to the trial budget, optionally checkpointing to ``store``."""
-        if checkpoint_every < 1:
-            raise ValueError("checkpoint_every must be >= 1")
-        target = self._target_trials()
-        if store is not None and resume:
-            from ..runtime.checkpoint import CheckpointError
-            from ..runtime.recovery import resume_latest
-
-            loaded = resume_latest(store)
-            if loaded is not None:
-                algorithm = loaded.state.get("algorithm")
-                if algorithm != type(self).__name__:
-                    raise CheckpointError(
-                        f"checkpoint was taken by {algorithm!r}, cannot "
-                        f"restore into {type(self).__name__}"
-                    )
-                self.load_state_dict(loaded.state["search"])
-        while len(self.trials) < target:
-            self.step()
-            done = len(self.trials)
-            if store is not None and done % checkpoint_every == 0 and done < target:
-                store.save(done, self._checkpoint_payload())
-        return self.build_result()
+        return self.run_resumable(
+            store=store, checkpoint_every=checkpoint_every, resume=resume
+        )
 
     def build_result(self) -> MultiTrialResult:
         return _result(list(self.trials), self._evaluate)
-
-    def _checkpoint_payload(self) -> dict:
-        from ..runtime.checkpoint import CHECKPOINT_FORMAT
-
-        return {
-            "format": CHECKPOINT_FORMAT,
-            "algorithm": type(self).__name__,
-            "search": self.state_dict(),
-        }
 
     def state_dict(self) -> dict:
         state = {

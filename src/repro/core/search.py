@@ -1,9 +1,12 @@
 """Search algorithms: H2O-NAS single-step parallel search and the
 TuNAS-style alternating baseline (Figure 2 of the paper).
 
-Both algorithms share the same ingredients — a super-network (shared
-weights ``W``), a REINFORCE controller (policy ``pi`` over architecture
-choices ``alpha``), a reward function, and a performance predictor —
+Both algorithms are thin *stage configurations* over the shared
+:class:`~repro.core.engine.SearchEngine` pipeline
+
+    ``sample -> fetch_shard -> score -> price -> reward ->
+    policy_update -> weight_update``
+
 and differ exactly where the paper says they differ:
 
 * :class:`SingleStepSearch` (right side of Figure 2): one unified step
@@ -16,487 +19,113 @@ and differ exactly where the paper says they differ:
   weight-training step on the training split, then a policy step on
   the validation split — with data reuse across epochs, as required
   when data is scarce.
+
+Per-core stages fan out across the engine's execution backend
+(``SearchConfig.backend`` / ``--backend threads``); results are
+bit-identical to serial execution by the backend contract
+(:mod:`repro.core.engine.backends`).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import (
-    TYPE_CHECKING,
-    Callable,
-    Dict,
-    List,
-    Mapping,
-    Optional,
-    Protocol,
-    Sequence,
-    Tuple,
+from .engine import (
+    CandidateRecord,
+    DrawnCandidate,
+    PerformanceFn,
+    SearchConfig,
+    SearchEngine,
+    SearchResult,
+    StepRecord,
+    SuperNetwork,
+    group_unique_architectures,
 )
-
-import numpy as np
-
-from ..data.batch import Batch
-from ..data.pipeline import SingleStepPipeline, TwoStreamPipeline
-from ..nn import Adam, Optimizer
-from ..searchspace.base import Architecture, SearchSpace
-from .controller import ReinforceController
 from .eval_runtime import (
+    STAGE_FETCH_SHARD,
     STAGE_POLICY_UPDATE,
     STAGE_PRICE,
+    STAGE_REWARD,
     STAGE_SAMPLE,
     STAGE_SCORE,
     STAGE_WEIGHT_UPDATE,
-    ArchKey,
-    EvalRuntime,
-    EvalRuntimeStats,
-    arch_key,
 )
-from .reward import RewardFunction
 
-if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
-    from ..telemetry import Telemetry
-
-PerformanceFn = Callable[[Architecture], Mapping[str, float]]
-
-#: One sampled candidate: (architecture, decision-index vector).
-DrawnCandidate = Tuple[Architecture, Sequence[int]]
-
-
-class SuperNetwork(Protocol):
-    """What the searches need from a super-network."""
-
-    def quality(self, arch: Architecture, inputs, labels) -> float: ...
-
-    def loss(self, arch: Architecture, inputs, labels): ...
-
-    def parameters(self): ...
-
-    def zero_grad(self) -> None: ...
+__all__ = [
+    "CandidateRecord",
+    "DrawnCandidate",
+    "PerformanceFn",
+    "SearchConfig",
+    "SearchResult",
+    "SingleStepSearch",
+    "StepRecord",
+    "SuperNetwork",
+    "TunasSearch",
+    "group_unique_architectures",
+]
 
 
-def group_unique_architectures(
-    drawn: Sequence[DrawnCandidate],
-) -> List[List[int]]:
-    """Shard positions grouped by sampled architecture, first-seen order.
+class SingleStepSearch(SearchEngine):
+    """H2O-NAS massively parallel unified single-step search.
 
-    Late in a search the policy has converged and most of the
-    ``num_cores`` cores sample the *same* architecture; grouping them
-    lets the score and weight-update stages run one super-network pass
-    per unique architecture instead of one per core.
-    """
-    groups: "OrderedDict[ArchKey, List[int]]" = OrderedDict()
-    for position, (_, indices) in enumerate(drawn):
-        groups.setdefault(arch_key(indices), []).append(position)
-    return list(groups.values())
-
-
-@dataclass
-class CandidateRecord:
-    """One evaluated candidate within one search step."""
-
-    architecture: Architecture
-    quality: float
-    metrics: Dict[str, float]
-    reward: float
-
-
-@dataclass
-class StepRecord:
-    """Aggregate view of one search step."""
-
-    step: int
-    mean_reward: float
-    mean_quality: float
-    policy_entropy: float
-    candidates: List[CandidateRecord] = field(default_factory=list)
-
-
-@dataclass
-class SearchResult:
-    """Outcome of a completed search.
-
-    ``eval_stats`` carries the evaluation runtime's instrumentation:
-    cache hit/miss counters and per-stage wall time
-    (sample/score/price/policy_update/weight_update).
+    One step = one pass over the full stage graph, every stage on the
+    same shard of fresh, single-use batches.
     """
 
-    final_architecture: Architecture
-    history: List[StepRecord]
-    batches_used: int
-    eval_stats: Optional[EvalRuntimeStats] = None
-
-    @property
-    def all_candidates(self) -> List[CandidateRecord]:
-        return [c for step in self.history for c in step.candidates]
-
-    def rewards(self) -> np.ndarray:
-        return np.array([s.mean_reward for s in self.history])
-
-    def entropies(self) -> np.ndarray:
-        return np.array([s.policy_entropy for s in self.history])
-
-
-@dataclass(frozen=True)
-class SearchConfig:
-    """Knobs shared by both search algorithms."""
-
-    steps: int = 100
-    num_cores: int = 4  # parallel accelerators (single-step search only)
-    policy_lr: float = 0.3
-    weight_lr: float = 0.005
-    policy_entropy_coef: float = 0.0  # exploration bonus for the controller
-    warmup_steps: int = 10  # weight-only steps before policy updates begin
-    record_candidates: bool = True
-    seed: int = 0
-    use_cache: bool = True  # memoize performance_fn by decision indices
-    cache_size: int = 4096  # LRU capacity of the metrics cache
-    #: run one supernet pass per *unique* sampled architecture by
-    #: stacking same-arch core batches (needs a supernet with
-    #: quality_many/loss_many, e.g. via StackedScoringMixin; other
-    #: supernets keep the per-core path)
-    group_unique: bool = True
-    #: shared :class:`repro.telemetry.Telemetry` handle; when set, the
-    #: search records per-step spans, reward/entropy/penalty gauges and
-    #: step events, attaches it to its eval runtime and pipeline, and
-    #: includes run-scoped counter state in checkpoint snapshots
-    telemetry: Optional["Telemetry"] = field(
-        default=None, repr=False, compare=False
-    )
-
-    def __post_init__(self) -> None:
-        if self.steps < 1 or self.num_cores < 1:
-            raise ValueError("steps and num_cores must be >= 1")
-        if self.warmup_steps < 0:
-            raise ValueError("warmup_steps must be >= 0")
-        if self.cache_size < 1:
-            raise ValueError("cache_size must be >= 1")
-
-
-def _record_step_telemetry(
-    telemetry: Optional["Telemetry"], record: StepRecord
-) -> None:
-    """Account one completed step to the shared telemetry (no-op if off).
-
-    ``search.penalty`` is the mean cost the reward function charged the
-    shard (quality minus reward) — positive when hardware targets are
-    being missed, ~0 once the policy prices candidates on target.
-    """
-    if telemetry is None:
-        return
-    telemetry.counter("search.steps").inc()
-    telemetry.gauge("search.reward").set(record.mean_reward)
-    telemetry.gauge("search.quality").set(record.mean_quality)
-    telemetry.gauge("search.entropy").set(record.policy_entropy)
-    telemetry.gauge("search.penalty").set(record.mean_quality - record.mean_reward)
-    telemetry.event(
-        "search.step",
-        step=record.step,
-        reward=record.mean_reward,
-        quality=record.mean_quality,
-        entropy=record.policy_entropy,
-    )
-
-
-class SingleStepSearch:
-    """H2O-NAS massively parallel unified single-step search."""
-
-    def __init__(
-        self,
-        space: SearchSpace,
-        supernet: SuperNetwork,
-        pipeline: SingleStepPipeline,
-        reward_fn: RewardFunction,
-        performance_fn: PerformanceFn,
-        config: Optional[SearchConfig] = None,
-        eval_runtime: Optional[EvalRuntime] = None,
-    ):
-        config = config if config is not None else SearchConfig()
-        self.space = space
-        self.supernet = supernet
-        self.pipeline = pipeline
-        self.reward_fn = reward_fn
-        self.performance_fn = performance_fn
-        self.config = config
-        self.telemetry = config.telemetry
-        self.runtime = eval_runtime or EvalRuntime(
-            performance_fn,
-            space=space,
-            use_cache=config.use_cache,
-            cache_capacity=config.cache_size,
-        )
-        if self.telemetry is not None:
-            self.runtime.attach_telemetry(self.telemetry)
-            self.pipeline.attach_telemetry(self.telemetry)
-        self.controller = ReinforceController(
-            space,
-            learning_rate=config.policy_lr,
-            entropy_coef=config.policy_entropy_coef,
-            seed=config.seed,
-        )
-        self._optimizer: Optimizer = Adam(supernet.parameters(), lr=config.weight_lr)
-        self._warmup_rng = np.random.default_rng(config.seed + 1)
-
-    # ------------------------------------------------------------------
-    def run(self) -> SearchResult:
-        history = [self.step(step) for step in range(self.config.steps)]
-        return self.build_result(history)
-
-    # -- stepwise driver protocol (checkpointed execution) --------------
-    def step(self, step: int) -> StepRecord:
-        """Run one search step; the unit the supervisor checkpoints at."""
-        if self.telemetry is None:
-            return self._step(step)
-        with self.telemetry.span("step"):
-            record = self._step(step)
-        _record_step_telemetry(self.telemetry, record)
-        return record
-
-    def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
-        """Assemble the result from externally-driven step records."""
-        return SearchResult(
-            final_architecture=self.controller.best_architecture(),
-            history=list(history),
-            batches_used=self.pipeline.batches_issued,
-            eval_stats=self.runtime.stats(),
-        )
-
-    def state_dict(self) -> dict:
-        """Everything this search mutates, for bit-identical resume."""
-        from ..runtime.checkpoint import supernet_state
-
-        state = {
-            "controller": self.controller.state_dict(),
-            "optimizer": self._optimizer.state_dict(),
-            "supernet": supernet_state(self.supernet),
-            "warmup_rng": self._warmup_rng.bit_generator.state,
-            "pipeline": self.pipeline.state_dict(),
-            "runtime": self.runtime.export_state(),
-        }
-        if self.telemetry is not None:
-            state["telemetry"] = self.telemetry.export_state()
-        return state
-
-    def load_state_dict(self, state: Mapping) -> None:
-        from ..runtime.checkpoint import restore_supernet_state
-
-        self.controller.load_state_dict(state["controller"])
-        self._optimizer.load_state_dict(state["optimizer"])
-        restore_supernet_state(self.supernet, state["supernet"])
-        self._warmup_rng.bit_generator.state = state["warmup_rng"]
-        self.pipeline.load_state_dict(state["pipeline"])
-        self.runtime.import_state(state["runtime"])
-        telemetry_state = state.get("telemetry")
-        if self.telemetry is not None and telemetry_state is not None:
-            self.telemetry.import_state(telemetry_state)
-
-    # -- grouped shard execution ---------------------------------------
-    def _score_shard(
-        self,
-        drawn: Sequence[DrawnCandidate],
-        batches: Sequence[Batch],
-        groups: Optional[List[List[int]]],
-    ) -> List[float]:
-        """Per-core qualities; one stacked pass per unique architecture.
-
-        The grouped path needs a supernet exposing ``quality_many``
-        (e.g. through :class:`repro.supernet.StackedScoringMixin`);
-        otherwise every core scores its own batch, in core order, so
-        stochastic quality signals consume their rng streams exactly as
-        the sequential implementation did.
-        """
-        quality_many = getattr(self.supernet, "quality_many", None)
-        if groups is None or quality_many is None:
-            return [
-                self.supernet.quality(arch, batch.inputs, batch.labels)
-                for batch, (arch, _) in zip(batches, drawn)
-            ]
-        qualities: List[float] = [0.0] * len(drawn)
-        for positions in groups:
-            arch = drawn[positions[0]][0]
-            values = quality_many(
-                arch,
-                [batches[i].inputs for i in positions],
-                [batches[i].labels for i in positions],
-            )
-            for position, value in zip(positions, values):
-                qualities[position] = float(value)
-        return qualities
-
-    def _update_weights_on_shard(
-        self,
-        drawn: Sequence[DrawnCandidate],
-        batches: Sequence[Batch],
-        groups: Optional[List[List[int]]],
-    ) -> None:
-        """Accumulate the cross-shard weight gradient, grouped when possible.
-
-        The sequential path backprops ``loss_i / num_cores`` per core;
-        the grouped path backprops ``loss_many * (group_size /
-        num_cores)`` per unique architecture, where ``loss_many`` is the
-        mean of the group's per-batch losses — the same gradient, in
-        ``len(groups)`` supernet passes instead of ``num_cores``.
-        """
-        num_cores = self.config.num_cores
-        loss_many = getattr(self.supernet, "loss_many", None)
-        if groups is None or loss_many is None:
-            for batch, (arch, _) in zip(batches, drawn):
-                loss = self.supernet.loss(arch, batch.inputs, batch.labels)
-                (loss * (1.0 / num_cores)).backward()
-            return
-        for positions in groups:
-            arch = drawn[positions[0]][0]
-            loss = loss_many(
-                arch,
-                [batches[i].inputs for i in positions],
-                [batches[i].labels for i in positions],
-            )
-            (loss * (len(positions) / num_cores)).backward()
+    def _batches_used(self) -> int:
+        return self.pipeline.batches_issued
 
     def _step(self, step: int) -> StepRecord:
         cfg = self.config
         runtime = self.runtime
         warming_up = step < cfg.warmup_steps
-        # Stage 1: every core draws a fresh batch; the shard's candidates
-        # are sampled in one vectorized policy draw.
+        # Stage 1: the shard's candidates — one vectorized policy draw
+        # (or uniform draws during weight-only warmup).
         with runtime.timed(STAGE_SAMPLE):
-            batches = [self.pipeline.next_batch() for _ in range(cfg.num_cores)]
-            if warming_up:
-                drawn = []
-                for _ in range(cfg.num_cores):
-                    arch = self.space.sample(self._warmup_rng)
-                    drawn.append((arch, self.space.indices_of(arch)))
-            else:
-                drawn = self.controller.sample_many(cfg.num_cores)
+            drawn = self.sample_shard(cfg.num_cores, warming_up)
+        # Stage 2: every core draws a fresh batch from the stream.
+        with runtime.timed(STAGE_FETCH_SHARD):
+            batches = self.pipeline.next_shard(cfg.num_cores)
         groups = group_unique_architectures(drawn) if cfg.group_unique else None
-        # Stage 2: score the shard with the shared weights on its fresh
-        # batches (the policy consumes the batches first) — one stacked
-        # pass per unique architecture when the supernet supports it.
+        # Stage 3: score the shard with the shared weights on its fresh
+        # batches (the policy consumes the batches first) — grouped
+        # passes fan out across the backend's workers.
         with runtime.timed(STAGE_SCORE):
-            qualities = self._score_shard(drawn, batches, groups)
+            qualities = self.score_shard(drawn, batches, groups)
             for batch in batches:
                 self.pipeline.mark_policy_use(batch)
-        # Stage 3: price the whole shard through the memoized runtime in
-        # one batched call (cache misses share one vectorized evaluation
-        # when the performance fn is batchable).
+        # Stage 4: price the whole shard through the memoized runtime in
+        # one batched call.
         with runtime.timed(STAGE_PRICE):
-            all_metrics = runtime.price_many(drawn)
-        candidates: List[CandidateRecord] = []
-        samples: List[Tuple[np.ndarray, float]] = []
-        for (arch, indices), quality, metrics in zip(drawn, qualities, all_metrics):
-            reward = self.reward_fn(quality, metrics)
-            samples.append((indices, reward))
-            candidates.append(CandidateRecord(arch, quality, metrics, reward))
-        # Stage 4: cross-shard policy update (skipped during warmup).
+            all_metrics = self.price_shard(drawn)
+        # Stage 5: fold qualities and hardware metrics into rewards.
+        with runtime.timed(STAGE_REWARD):
+            candidates, samples = self.assemble_candidates(
+                drawn, qualities, all_metrics
+            )
+        # Stage 6: cross-shard policy update (skipped during warmup).
         if not warming_up:
             with runtime.timed(STAGE_POLICY_UPDATE):
-                self.controller.update(samples)
-        # Stage 5: cross-shard weight update on the same batches.
+                self.policy_update(samples)
+        # Stage 7: cross-shard weight update on the same batches.
         with runtime.timed(STAGE_WEIGHT_UPDATE):
             self.supernet.zero_grad()
-            self._update_weights_on_shard(drawn, batches, groups)
+            self.accumulate_shard_gradient(drawn, batches, groups)
             for batch in batches:
                 self.pipeline.mark_weight_use(batch)
             self._optimizer.step()
-        return StepRecord(
-            step=step,
-            mean_reward=float(np.mean([c.reward for c in candidates])),
-            mean_quality=float(np.mean([c.quality for c in candidates])),
-            policy_entropy=self.controller.entropy(),
-            candidates=candidates if cfg.record_candidates else [],
-        )
+        return self.make_record(step, candidates)
 
 
-class TunasSearch:
-    """TuNAS-style two-step baseline: alternate W and pi learning."""
+class TunasSearch(SearchEngine):
+    """TuNAS-style two-step baseline: alternate W and pi learning.
 
-    def __init__(
-        self,
-        space: SearchSpace,
-        supernet: SuperNetwork,
-        pipeline: TwoStreamPipeline,
-        reward_fn: RewardFunction,
-        performance_fn: PerformanceFn,
-        config: Optional[SearchConfig] = None,
-        eval_runtime: Optional[EvalRuntime] = None,
-    ):
-        config = config if config is not None else SearchConfig()
-        self.space = space
-        self.supernet = supernet
-        self.pipeline = pipeline
-        self.reward_fn = reward_fn
-        self.performance_fn = performance_fn
-        self.config = config
-        self.telemetry = config.telemetry
-        self.runtime = eval_runtime or EvalRuntime(
-            performance_fn,
-            space=space,
-            use_cache=config.use_cache,
-            cache_capacity=config.cache_size,
-        )
-        if self.telemetry is not None:
-            self.runtime.attach_telemetry(self.telemetry)
-            self.pipeline.attach_telemetry(self.telemetry)
-        self.controller = ReinforceController(
-            space,
-            learning_rate=config.policy_lr,
-            entropy_coef=config.policy_entropy_coef,
-            seed=config.seed,
-        )
-        self._optimizer: Optimizer = Adam(supernet.parameters(), lr=config.weight_lr)
-        self._warmup_rng = np.random.default_rng(config.seed + 1)
+    The stage graph rearranged for the alternating regime: the weight
+    update runs *first*, on its own train-split candidate, then the
+    policy half (fetch/sample/score/price/reward/policy-update) runs on
+    one shared validation batch.
+    """
 
-    def run(self) -> SearchResult:
-        history = [self.step(step) for step in range(self.config.steps)]
-        return self.build_result(history)
-
-    # -- stepwise driver protocol (checkpointed execution) --------------
-    def step(self, step: int) -> StepRecord:
-        """Run one search step; the unit the supervisor checkpoints at."""
-        if self.telemetry is None:
-            return self._step(step)
-        with self.telemetry.span("step"):
-            record = self._step(step)
-        _record_step_telemetry(self.telemetry, record)
-        return record
-
-    def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
-        """Assemble the result from externally-driven step records."""
-        return SearchResult(
-            final_architecture=self.controller.best_architecture(),
-            history=list(history),
-            batches_used=self.pipeline.train_size + self.pipeline.valid_size,
-            eval_stats=self.runtime.stats(),
-        )
-
-    def state_dict(self) -> dict:
-        """Everything this search mutates, for bit-identical resume."""
-        from ..runtime.checkpoint import supernet_state
-
-        state = {
-            "controller": self.controller.state_dict(),
-            "optimizer": self._optimizer.state_dict(),
-            "supernet": supernet_state(self.supernet),
-            "warmup_rng": self._warmup_rng.bit_generator.state,
-            "pipeline": self.pipeline.state_dict(),
-            "runtime": self.runtime.export_state(),
-        }
-        if self.telemetry is not None:
-            state["telemetry"] = self.telemetry.export_state()
-        return state
-
-    def load_state_dict(self, state: Mapping) -> None:
-        from ..runtime.checkpoint import restore_supernet_state
-
-        self.controller.load_state_dict(state["controller"])
-        self._optimizer.load_state_dict(state["optimizer"])
-        restore_supernet_state(self.supernet, state["supernet"])
-        self._warmup_rng.bit_generator.state = state["warmup_rng"]
-        self.pipeline.load_state_dict(state["pipeline"])
-        self.runtime.import_state(state["runtime"])
-        telemetry_state = state.get("telemetry")
-        if self.telemetry is not None and telemetry_state is not None:
-            self.telemetry.import_state(telemetry_state)
+    def _batches_used(self) -> int:
+        return self.pipeline.train_size + self.pipeline.valid_size
 
     def _step(self, step: int) -> StepRecord:
         cfg = self.config
@@ -508,35 +137,22 @@ class TunasSearch:
                 arch = self.space.sample(self._warmup_rng)
             else:
                 arch, _ = self.controller.sample()
-            train_batch = self.pipeline.next_train_batch()
-            self.supernet.zero_grad()
-            self.supernet.loss(arch, train_batch.inputs, train_batch.labels).backward()
-            self._optimizer.step()
+            self.train_weights_on(arch, self.pipeline.next_train_batch())
         # Policy step on the validation split: one vectorized draw, then
-        # score and price the whole shard.
-        valid_batch = self.pipeline.next_valid_batch()
+        # score and price the whole shard on the shared batch.
+        with runtime.timed(STAGE_FETCH_SHARD):
+            valid_batch = self.pipeline.next_valid_batch()
         with runtime.timed(STAGE_SAMPLE):
             drawn = self.controller.sample_many(cfg.num_cores)
         with runtime.timed(STAGE_SCORE):
-            qualities = [
-                self.supernet.quality(cand, valid_batch.inputs, valid_batch.labels)
-                for cand, _ in drawn
-            ]
+            qualities = self.score_on_batch(drawn, valid_batch)
         with runtime.timed(STAGE_PRICE):
-            all_metrics = runtime.price_many(drawn)
-        candidates: List[CandidateRecord] = []
-        samples: List[Tuple[np.ndarray, float]] = []
-        for (cand, indices), quality, metrics in zip(drawn, qualities, all_metrics):
-            reward = self.reward_fn(quality, metrics)
-            samples.append((indices, reward))
-            candidates.append(CandidateRecord(cand, quality, metrics, reward))
+            all_metrics = self.price_shard(drawn)
+        with runtime.timed(STAGE_REWARD):
+            candidates, samples = self.assemble_candidates(
+                drawn, qualities, all_metrics
+            )
         if not warming_up:
             with runtime.timed(STAGE_POLICY_UPDATE):
-                self.controller.update(samples)
-        return StepRecord(
-            step=step,
-            mean_reward=float(np.mean([c.reward for c in candidates])),
-            mean_quality=float(np.mean([c.quality for c in candidates])),
-            policy_entropy=self.controller.entropy(),
-            candidates=candidates if cfg.record_candidates else [],
-        )
+                self.policy_update(samples)
+        return self.make_record(step, candidates)

@@ -174,6 +174,20 @@ class SingleStepPipeline(_TelemetryMixin):
             )
         return batch
 
+    def next_shard(self, count: int) -> List[Batch]:
+        """Fetch one batch per parallel core, in core order.
+
+        The shard hand-off point for the search engine's fetch stage:
+        one call delivers the whole step's batches.  The source is
+        always drained sequentially on the caller's thread — batch ids
+        must stay monotone and the source's rng state is part of the
+        bit-identity contract — so this is bookkeeping sugar, not a
+        parallelism point.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.next_batch() for _ in range(count)]
+
     def mark_policy_use(self, batch: Batch) -> None:
         """Record that the RL policy consumed ``batch`` (must come first)."""
         state = self._outstanding.get(batch.batch_id)

@@ -1,6 +1,6 @@
 """Weight-sharing super-networks (Section 5 / Figure 3 of the paper)."""
 
-from .batching import StackedScoringMixin, stack_named_inputs
+from .batching import StackedScoring, StackedScoringMixin, stack_named_inputs
 from .dlrm import DlrmSuperNetwork, DlrmSupernetConfig, WIDTH_INCREMENT
 from .mixture import (
     MixtureSuperNetwork,
@@ -11,6 +11,7 @@ from .transformer import TransformerSuperNetwork, TransformerSupernetConfig
 from .vision import VisionSuperNetwork, VisionSupernetConfig
 
 __all__ = [
+    "StackedScoring",
     "StackedScoringMixin",
     "stack_named_inputs",
     "DlrmSuperNetwork",

@@ -24,7 +24,7 @@ transparently.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -32,6 +32,39 @@ from ..nn import Tensor
 from ..searchspace.base import Architecture
 
 NamedInputs = Dict[str, np.ndarray]
+
+
+@runtime_checkable
+class StackedScoring(Protocol):
+    """The stacked-scoring capability, as a checkable contract.
+
+    The search engine used to sniff for ``quality_many`` with
+    ``getattr`` duck-typing; this Protocol makes the contract explicit
+    and ``isinstance``-checkable: a supernet that can score *and* train
+    over several same-architecture batches in one stacked pass.
+    :class:`StackedScoringMixin` is the stock implementation; any
+    structurally-conforming supernet qualifies.
+
+    ``runtime_checkable`` Protocols check method *presence*, not
+    signatures — which is exactly right for proxy wrappers (e.g. the
+    fault injector's mid-shard crash shim) that forward attribute
+    lookups to an inner supernet: the isinstance check follows whatever
+    the wrapped supernet actually offers.
+    """
+
+    def quality_many(
+        self,
+        arch: Architecture,
+        inputs_seq: Sequence[NamedInputs],
+        labels_seq: Sequence[np.ndarray],
+    ) -> List[float]: ...
+
+    def loss_many(
+        self,
+        arch: Architecture,
+        inputs_seq: Sequence[NamedInputs],
+        labels_seq: Sequence[np.ndarray],
+    ) -> Tensor: ...
 
 
 def stack_named_inputs(inputs_seq: Sequence[NamedInputs]) -> NamedInputs:

@@ -352,13 +352,14 @@ class TestMemoizedEvaluate:
 
 
 class TestPriceManyEvictionPressure:
-    """Pins the documented batched-vs-sequential cache divergence.
+    """Asserts batched pricing is sequentially equivalent under eviction.
 
     With more distinct keys in one shard than the cache has capacity,
-    ``price_many`` and a sequential ``price`` loop legitimately disagree
-    on counters and final LRU contents (see the ``price_many``
-    docstring).  These tests pin the exact divergence so any change to
-    the batching logic that silently alters it fails loudly.
+    ``price_many`` used to disagree with a sequential ``price`` loop on
+    counters and final LRU contents.  The plan/replay implementation
+    (see :meth:`ArchMetricsCache.plan`) fixed that: counters,
+    evaluations, results, and LRU contents now match the sequential
+    order exactly, in every regime.
     """
 
     SHARD = [0, 1, 2, 0]  # four draws, three distinct keys, one repeat
@@ -374,30 +375,46 @@ class TestPriceManyEvictionPressure:
     def _drawn(self):
         return [(self._arch(i), (i,)) for i in self.SHARD]
 
-    def test_batched_counts_duplicate_as_hit(self):
-        runtime, fn = self._runtime(capacity=2)
-        results = runtime.price_many(self._drawn())
-        cache = runtime.cache
-        # The duplicate of the in-shard miss is classified as a hit
-        # before any insertion can evict it.
-        assert (cache.hits, cache.misses, cache.evictions) == (1, 3, 1)
-        assert fn.calls == 3 and runtime.evaluations == 3
-        assert results[0] == results[3]
-        # Batch insertion order makes (0,) the LRU victim.
-        assert arch_key((0,)) not in cache
-        assert arch_key((1,)) in cache and arch_key((2,)) in cache
+    def _assert_equivalent(self, capacity):
+        batched, batched_fn = self._runtime(capacity=capacity)
+        sequential, sequential_fn = self._runtime(capacity=capacity)
+        batch_results = batched.price_many(self._drawn())
+        loop_results = [
+            sequential.price(arch, indices=indices)
+            for arch, indices in self._drawn()
+        ]
+        assert batch_results == loop_results
+        b_cache, s_cache = batched.cache, sequential.cache
+        assert (b_cache.hits, b_cache.misses, b_cache.evictions) == (
+            s_cache.hits,
+            s_cache.misses,
+            s_cache.evictions,
+        )
+        assert batched_fn.calls == sequential_fn.calls
+        assert batched.evaluations == sequential.evaluations
+        assert b_cache.export_state()["entries"] == s_cache.export_state()["entries"]
+        return batched, batched_fn
 
-    def test_sequential_loop_re_misses_evicted_duplicate(self):
-        runtime, fn = self._runtime(capacity=2)
-        for arch, indices in self._drawn():
-            runtime.price(arch, indices=indices)
+    def test_batched_matches_sequential_under_eviction_pressure(self):
+        runtime, fn = self._assert_equivalent(capacity=2)
         cache = runtime.cache
         # By the time the duplicate (0,) arrives it has been evicted, so
-        # the sequential order pays a fourth miss and evaluation.
+        # both orders pay a fourth miss and evaluation.
         assert (cache.hits, cache.misses, cache.evictions) == (0, 4, 2)
         assert fn.calls == 4 and runtime.evaluations == 4
         assert arch_key((1,)) not in cache
         assert arch_key((2,)) in cache and arch_key((0,)) in cache
+
+    def test_plan_predicts_sequential_outcomes_without_mutation(self):
+        runtime, _ = self._runtime(capacity=2)
+        keys = [arch_key((i,)) for i in self.SHARD]
+        assert runtime.cache.plan(keys) == [False, False, False, False]
+        # Planning is a pure simulation: nothing was inserted or counted.
+        assert len(runtime.cache) == 0
+        assert (runtime.cache.hits, runtime.cache.misses) == (0, 0)
+        # With room for the whole shard the duplicate is a planned hit.
+        roomy, _ = self._runtime(capacity=4)
+        assert roomy.cache.plan(keys) == [False, False, False, True]
 
     def test_orders_agree_when_capacity_covers_shard(self):
         batched, batched_fn = self._runtime(capacity=4)
