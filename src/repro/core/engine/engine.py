@@ -193,6 +193,12 @@ class SearchConfig:
     #: worker count for pooled backends (``None``: ``$REPRO_WORKERS``,
     #: then min(4, cores))
     workers: Optional[int] = None
+    #: optional learning-rate schedule for the weight optimizer (any
+    #: object with ``multiplier(step)``, e.g.
+    #: :class:`repro.nn.CosineSchedule`).  When set, the engine wraps
+    #: its Adam in a :class:`repro.nn.ScheduledOptimizer`, whose
+    #: schedule position rides in every checkpoint snapshot.
+    weight_schedule: Optional[Any] = field(default=None, compare=False)
     #: shared :class:`repro.telemetry.Telemetry` handle; when set, the
     #: search records per-step spans, reward/entropy/penalty gauges and
     #: step events, attaches it to its eval runtime and pipeline, and
@@ -286,12 +292,17 @@ class SearchEngine:
             entropy_coef=config.policy_entropy_coef,
             seed=config.seed,
         )
-        from ...nn import Adam
+        from ...nn import Adam, ScheduledOptimizer
 
         self._optimizer: "Optimizer" = Adam(
             supernet.parameters(), lr=config.weight_lr
         )
+        if config.weight_schedule is not None:
+            self._optimizer = ScheduledOptimizer(
+                self._optimizer, config.weight_schedule
+            )
         self._warmup_rng = np.random.default_rng(config.seed + 1)
+        self._tape_totals: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Stepwise driver protocol (checkpointed execution)
@@ -307,7 +318,29 @@ class SearchEngine:
         with self.telemetry.span("step"):
             record = self._step(step)
         _record_step_telemetry(self.telemetry, record)
+        self._record_tape_telemetry()
         return record
+
+    def _record_tape_telemetry(self) -> None:
+        """Mirror the supernet's tape-cache counters into telemetry.
+
+        The cache's counters are process-lifetime totals; the engine
+        publishes per-step deltas on the engine thread so workers never
+        touch the metrics registry.  The ``nn.`` prefix is churn-scoped
+        (the cache is rebuilt empty on restart), so these counters stay
+        out of checkpoint identity.
+        """
+        tape_stats = getattr(self.supernet, "tape_stats", None)
+        if tape_stats is None:
+            return
+        stats = tape_stats()
+        for key in ("hits", "misses", "evictions"):
+            total = int(stats.get(key, 0))
+            delta = total - self._tape_totals.get(key, 0)
+            if delta > 0:
+                self.telemetry.counter(f"nn.tape.{key}").inc(delta)
+            self._tape_totals[key] = total
+        self.telemetry.gauge("nn.tape.size").set(float(stats.get("size", 0)))
 
     def build_result(self, history: Sequence[StepRecord]) -> SearchResult:
         """Assemble the result from externally-driven step records."""
@@ -564,7 +597,13 @@ class SearchEngine:
         if groups is None or not isinstance(self.supernet, StackedScoring):
             for batch, (arch, _) in zip(batches, drawn):
                 loss = self.supernet.loss(arch, batch.inputs, batch.labels)
-                (loss * (1.0 / num_cores)).backward()
+                # Seeding backward with the scale replaces the old
+                # ``(loss * scale).backward()``: the scale node's
+                # backward multiplied the unit seed by the same float,
+                # so the seeded gradient is bit-identical — and the
+                # backward stays on the loss node, where a compiled
+                # graph's cached gradient order applies.
+                loss.backward(np.asarray(1.0 / num_cores))
             return
         loss_many = self.supernet.loss_many
 
@@ -575,12 +614,12 @@ class SearchEngine:
                 [batches[i].inputs for i in positions],
                 [batches[i].labels for i in positions],
             )
-            return loss * (len(positions) / num_cores)
+            return loss, len(positions) / num_cores
 
-        for scaled_loss in self._fan_out(
+        for loss, scale in self._fan_out(
             STAGE_WEIGHT_UPDATE, build_group_loss, groups
         ):
-            scaled_loss.backward()
+            loss.backward(np.asarray(scale))
 
     def train_weights_on(self, arch: Architecture, batch: Batch) -> None:
         """Stage *weight_update*, single-candidate variant (TuNAS train

@@ -1,6 +1,8 @@
 """NumPy-based neural-network substrate (autograd, layers, optimizers)."""
 
-from .tensor import Tensor, as_tensor, concatenate, stack_mean
+from .tensor import Tensor, as_tensor, concatenate, stack_mean, trace_graph
+from .fused import ACT_KERNELS, dense_act, masked_gather
+from .tape import CompiledGraph, TapeCache, compile_graph, tape_enabled
 from .layers import (
     ACTIVATIONS,
     Dense,
@@ -19,7 +21,9 @@ from .schedules import CosineSchedule, ScheduledOptimizer, StepDecaySchedule
 
 __all__ = [
     "ACTIVATIONS",
+    "ACT_KERNELS",
     "Adam",
+    "CompiledGraph",
     "CosineSchedule",
     "Dense",
     "LayerNorm",
@@ -33,14 +37,20 @@ __all__ = [
     "ScheduledOptimizer",
     "StepDecaySchedule",
     "Sequential",
+    "TapeCache",
     "Tensor",
     "accuracy",
     "activation",
     "as_tensor",
     "bce_with_logits",
     "binary_accuracy",
+    "compile_graph",
     "concatenate",
+    "dense_act",
+    "masked_gather",
     "mse",
     "softmax_cross_entropy",
     "stack_mean",
+    "tape_enabled",
+    "trace_graph",
 ]

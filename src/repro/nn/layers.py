@@ -18,14 +18,24 @@ super-networks (Section 5) and of the MLP performance model
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Mapping as AbcMapping
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from . import initializers
+from .fused import dense_act, masked_gather
 from .tensor import Tensor
 
 Activation = Callable[[Tensor], Tensor]
+
+#: Module-level switch for the fused single-node layer kernels.  The
+#: composed (multi-node) path is kept for the ``bench_nn.py`` baseline
+#: and as a differential-testing oracle; production code leaves this on.
+#: Note tape compilation requires the fused path — composed layers bake
+#: derived index/shift arrays into closures that would go stale on
+#: replay.
+FUSED_KERNELS = True
 
 ACTIVATIONS: Dict[str, Activation] = {
     "linear": lambda x: x,
@@ -59,20 +69,29 @@ class Module:
 
     def _collect(self, params: List[Tensor], seen: set) -> None:
         for value in self.__dict__.values():
-            if isinstance(value, Tensor) and value.requires_grad:
-                if id(value) not in seen:
-                    seen.add(id(value))
-                    params.append(value)
-            elif isinstance(value, Module):
-                value._collect(params, seen)
-            elif isinstance(value, (list, tuple)):
-                for item in value:
-                    if isinstance(item, Module):
-                        item._collect(params, seen)
-                    elif isinstance(item, Tensor) and item.requires_grad:
-                        if id(item) not in seen:
-                            seen.add(id(item))
-                            params.append(item)
+            self._collect_value(value, params, seen)
+
+    def _collect_value(self, value, params: List[Tensor], seen: set) -> None:
+        """Collect from one attribute value, recursing into containers.
+
+        Dict/Mapping values are traversed in insertion order — modules
+        that keep parameters or children in dicts (e.g. the DLRM
+        per-vocab embedding tables) previously lost them silently:
+        ``parameters()`` skipped them, so optimizers never updated them
+        and ``state_dict()`` checkpoints dropped them.
+        """
+        if isinstance(value, Tensor):
+            if value.requires_grad and id(value) not in seen:
+                seen.add(id(value))
+                params.append(value)
+        elif isinstance(value, Module):
+            value._collect(params, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_value(item, params, seen)
+        elif isinstance(value, AbcMapping):
+            for item in value.values():
+                self._collect_value(item, params, seen)
 
     def zero_grad(self) -> None:
         for param in self.parameters():
@@ -143,9 +162,12 @@ class Dense(Module):
         self.bias: Optional[Tensor] = None
         if use_bias:
             self.bias = Tensor(np.zeros(out_features), requires_grad=True, name="dense.bias")
+        self._activation_name = activation_name
         self._activation = activation(activation_name)
 
     def forward(self, x: Tensor) -> Tensor:
+        if FUSED_KERNELS:
+            return dense_act(x, self.weight, self.bias, self._activation_name)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -181,7 +203,23 @@ class MaskedDense(Module):
         self.bias: Optional[Tensor] = None
         if use_bias:
             self.bias = Tensor(np.zeros(max_out), requires_grad=True, name="masked_dense.bias")
+        self._activation_name = activation_name
         self._activation = activation(activation_name)
+        # Active-width masks are pure functions of (active_in, active_out)
+        # and the layer shape; cache them so the hot path stops
+        # allocating and refilling a (max_in, max_out) array every call.
+        self._mask_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _masks(self, active_in: int, active_out: int) -> Tuple[np.ndarray, np.ndarray]:
+        key = (active_in, active_out)
+        masks = self._mask_cache.get(key)
+        if masks is None:
+            weight_mask = np.zeros((self.max_in, self.max_out))
+            weight_mask[:active_in, :active_out] = 1.0
+            bias_mask = np.zeros(self.max_out)
+            bias_mask[:active_out] = 1.0
+            masks = self._mask_cache[key] = (weight_mask, bias_mask)
+        return masks
 
     def forward(self, x: Tensor, active_in: Optional[int] = None, active_out: Optional[int] = None) -> Tensor:
         """Apply the layer using only the ``active_in`` x ``active_out`` block.
@@ -196,12 +234,17 @@ class MaskedDense(Module):
             raise ValueError(f"active_in {active_in} outside (0, {self.max_in}]")
         if not (0 < active_out <= self.max_out):
             raise ValueError(f"active_out {active_out} outside (0, {self.max_out}]")
-        weight_mask = np.zeros((self.max_in, self.max_out))
-        weight_mask[:active_in, :active_out] = 1.0
+        if FUSED_KERNELS:
+            return dense_act(
+                x,
+                self.weight,
+                self.bias,
+                self._activation_name,
+                active=(active_in, active_out),
+            )
+        weight_mask, bias_mask = self._masks(active_in, active_out)
         out = x @ self.weight.mask(weight_mask)
         if self.bias is not None:
-            bias_mask = np.zeros(self.max_out)
-            bias_mask[:active_out] = 1.0
             out = out + self.bias.mask(bias_mask)
         return self._activation(out)
 
@@ -238,7 +281,26 @@ class LowRankDense(Module):
             name="lowrank.v",
         )
         self.bias = Tensor(np.zeros(max_out), requires_grad=True, name="lowrank.bias")
+        self._activation_name = activation_name
         self._activation = activation(activation_name)
+        self._mask_cache: Dict[
+            Tuple[int, int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+
+    def _masks(
+        self, active_in: int, active_out: int, active_rank: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        key = (active_in, active_out, active_rank)
+        masks = self._mask_cache.get(key)
+        if masks is None:
+            u_mask = np.zeros((self.max_in, self.max_rank))
+            u_mask[:active_in, :active_rank] = 1.0
+            v_mask = np.zeros((self.max_rank, self.max_out))
+            v_mask[:active_rank, :active_out] = 1.0
+            bias_mask = np.zeros(self.max_out)
+            bias_mask[:active_out] = 1.0
+            masks = self._mask_cache[key] = (u_mask, v_mask, bias_mask)
+        return masks
 
     def forward(
         self,
@@ -252,14 +314,20 @@ class LowRankDense(Module):
         active_rank = self.max_rank if active_rank is None else active_rank
         if not (0 < active_rank <= self.max_rank):
             raise ValueError(f"active_rank {active_rank} outside (0, {self.max_rank}]")
-        u_mask = np.zeros((self.max_in, self.max_rank))
-        u_mask[:active_in, :active_rank] = 1.0
-        v_mask = np.zeros((self.max_rank, self.max_out))
-        v_mask[:active_rank, :active_out] = 1.0
+        if FUSED_KERNELS:
+            hidden = dense_act(
+                x, self.factor_u, None, "linear", active=(active_in, active_rank)
+            )
+            return dense_act(
+                hidden,
+                self.factor_v,
+                self.bias,
+                self._activation_name,
+                active=(active_rank, active_out),
+            )
+        u_mask, v_mask, bias_mask = self._masks(active_in, active_out, active_rank)
         hidden = x @ self.factor_u.mask(u_mask)
         out = hidden @ self.factor_v.mask(v_mask)
-        bias_mask = np.zeros(self.max_out)
-        bias_mask[:active_out] = 1.0
         return self._activation(out + self.bias.mask(bias_mask))
 
 
@@ -281,14 +349,42 @@ class MaskedEmbedding(Module):
             requires_grad=True,
             name="embedding.table",
         )
+        self._mask_cache: Dict[int, np.ndarray] = {}
 
-    def forward(self, indices: np.ndarray, active_width: Optional[int] = None) -> Tensor:
+    def _col_mask(self, active_width: int) -> np.ndarray:
+        mask = self._mask_cache.get(active_width)
+        if mask is None:
+            mask = np.zeros(self.max_width)
+            mask[:active_width] = 1.0
+            self._mask_cache[active_width] = mask
+        return mask
+
+    def forward(
+        self,
+        indices: np.ndarray,
+        active_width: Optional[int] = None,
+        wrap: Optional[int] = None,
+    ) -> Tensor:
+        """Masked lookup of ``indices``, optionally wrapped modulo ``wrap``.
+
+        ``wrap`` lets a caller address only the first ``wrap`` rows (the
+        fine vocab-sharing ablation, where a smaller vocabulary wraps
+        its ids into a shared table).  The modulus is applied *inside*
+        the lookup node, so the raw index array can be a live view of a
+        tape input buffer.
+        """
         active_width = self.max_width if active_width is None else active_width
         if not (0 < active_width <= self.max_width):
             raise ValueError(f"active_width {active_width} outside (0, {self.max_width}]")
-        col_mask = np.zeros(self.max_width)
-        col_mask[:active_width] = 1.0
-        return self.table.mask(col_mask).gather_rows(np.asarray(indices) % self.vocab_size)
+        modulus = self.vocab_size if wrap is None else min(int(wrap), self.vocab_size)
+        if modulus < 1:
+            raise ValueError(f"wrap {wrap} must be >= 1")
+        if FUSED_KERNELS:
+            return masked_gather(
+                self.table, indices, None, modulus, active_width=active_width
+            )
+        col_mask = self._col_mask(active_width)
+        return self.table.mask(col_mask).gather_rows(np.asarray(indices) % modulus)
 
 
 class LayerNorm(Module):

@@ -3,53 +3,102 @@
 * Binary cross-entropy with logits — DLRM click-through prediction.
 * Softmax cross-entropy — vision classification proxies.
 * Mean-squared error — the MLP performance model regression.
+
+Each loss is a single fused graph node: the forward computes the scalar
+directly from the logits' data and the backward applies the closed-form
+gradient, so the loss adds one node to the graph instead of a chain of
+elementwise ops.  All label/target-derived values are recomputed inside
+the node, which keeps the losses replayable by :mod:`repro.nn.tape`
+(labels may be views of a tape input buffer).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, _unbroadcast
 
 
 def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Numerically-stable binary cross entropy on raw logits.
 
-    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))`` expressed through the
-    autograd primitives.
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``, which is exact for
+    arbitrarily large logits.  (A previous implementation went through
+    ``sigmoid`` + ``log(p + 1e-9)``, which clamps the loss at
+    ``-log(1e-9)`` and zeroes the gradient once logits saturate the
+    sigmoid — precisely the regime where a miscalibrated head most
+    needs gradient signal.)
+
+    The gradient is the classic ``(sigmoid(x) - y) / n``.
     """
     targets = np.asarray(targets, dtype=np.float64)
-    probs = logits.sigmoid()
-    eps = 1e-9
-    loss = -(
-        Tensor(targets) * (probs + eps).log()
-        + Tensor(1.0 - targets) * (1.0 - probs + eps).log()
-    )
-    return loss.mean()
+    out_shape = np.broadcast_shapes(logits.data.shape, targets.shape)
+    inv = 1.0 / max(1, int(np.prod(out_shape)))
+
+    def compute() -> np.ndarray:
+        x = logits.data
+        elem = np.maximum(x, 0.0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+        return np.asarray(elem.mean())
+
+    def backward(grad: np.ndarray) -> None:
+        x = logits.data
+        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        d = (sig - targets) * (np.asarray(grad) * inv)
+        logits._accumulate(_unbroadcast(np.broadcast_to(d, out_shape), x.shape))
+
+    return Tensor(compute(), parents=(logits,), backward=backward, recompute=compute)
 
 
 def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Mean cross entropy of integer ``labels`` against ``logits``.
 
     ``logits`` has shape ``(batch, classes)``; the log-sum-exp is
-    stabilized by subtracting the rowwise max (a constant w.r.t. the
-    gradient path, applied through detached data).
+    stabilized by subtracting the rowwise max.  The gradient is
+    ``(softmax - onehot) / batch``.
     """
-    labels = np.asarray(labels, dtype=np.int64)
-    shift = logits.data.max(axis=1, keepdims=True)
-    shifted = logits - Tensor(shift)
-    log_norm = shifted.exp().sum(axis=1, keepdims=True).log()
-    log_probs = shifted - log_norm
-    picked_mask = np.zeros(logits.shape)
-    picked_mask[np.arange(labels.shape[0]), labels] = 1.0
-    picked = (log_probs * Tensor(picked_mask)).sum(axis=1)
-    return -picked.mean()
+    saved: dict = {}
+
+    def compute() -> np.ndarray:
+        x = logits.data
+        idx = np.asarray(labels, dtype=np.int64)
+        shift = x.max(axis=1, keepdims=True)
+        shifted = np.clip(x - shift, -700.0, 700.0)
+        exp = np.exp(shifted)
+        total = exp.sum(axis=1, keepdims=True)
+        saved["probs"] = exp / total
+        saved["idx"] = idx
+        rows = np.arange(idx.shape[0])
+        picked = shifted[rows, idx] - np.log(total[rows, 0])
+        return np.asarray(-picked.mean())
+
+    def backward(grad: np.ndarray) -> None:
+        probs, idx = saved["probs"], saved["idx"]
+        scale = np.asarray(grad) / idx.shape[0]
+        d = probs * scale
+        d[np.arange(idx.shape[0]), idx] -= scale
+        logits._accumulate(d)
+
+    return Tensor(compute(), parents=(logits,), backward=backward, recompute=compute)
 
 
 def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
     """Mean squared error against constant targets."""
-    diff = predictions - Tensor(np.asarray(targets, dtype=np.float64))
-    return (diff * diff).mean()
+    targets = np.asarray(targets, dtype=np.float64)
+    out_shape = np.broadcast_shapes(predictions.data.shape, targets.shape)
+    inv = 1.0 / max(1, int(np.prod(out_shape)))
+    saved: dict = {}
+
+    def compute() -> np.ndarray:
+        saved["diff"] = diff = predictions.data - targets
+        return np.asarray((diff * diff).mean())
+
+    def backward(grad: np.ndarray) -> None:
+        d = (np.asarray(grad) * inv) * saved["diff"] * 2.0
+        predictions._accumulate(
+            _unbroadcast(np.broadcast_to(d, out_shape), predictions.data.shape)
+        )
+
+    return Tensor(compute(), parents=(predictions,), backward=backward, recompute=compute)
 
 
 def accuracy(logits: Tensor, labels: np.ndarray) -> float:

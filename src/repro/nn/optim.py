@@ -91,9 +91,11 @@ class SGD(Optimizer):
             if self.momentum > 0:
                 vel = self._velocity.get(id(param))
                 if vel is None:
-                    vel = np.zeros_like(param.data)
-                vel = self.momentum * vel + param.grad
-                self._velocity[id(param)] = vel
+                    vel = self._velocity[id(param)] = np.zeros_like(param.data)
+                # In-place ``v*m + g``: multiply then add round identically
+                # to the out-of-place expression, without the allocation.
+                vel *= self.momentum
+                vel += param.grad
                 param.data -= self.lr * vel
             else:
                 param.data -= self.lr * param.grad
@@ -140,12 +142,16 @@ class Adam(Optimizer):
             m = self._m.get(id(param))
             v = self._v.get(id(param))
             if m is None:
-                m = np.zeros_like(param.data)
-                v = np.zeros_like(param.data)
-            m = self.beta1 * m + (1 - self.beta1) * param.grad
-            v = self.beta2 * v + (1 - self.beta2) * param.grad**2
-            self._m[id(param)] = m
-            self._v[id(param)] = v
+                m = self._m[id(param)] = np.zeros_like(param.data)
+                v = self._v[id(param)] = np.zeros_like(param.data)
+            # In-place moment updates: ``x *= beta; x += (1-beta)*g``
+            # rounds identically to ``beta*x + (1-beta)*g`` (same two
+            # elementwise ops on the same operands) while reusing the
+            # moment buffers instead of allocating fresh ones per step.
+            m *= self.beta1
+            m += (1 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * param.grad**2
             m_hat = m / (1 - self.beta1**self._t)
             v_hat = v / (1 - self.beta2**self._t)
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

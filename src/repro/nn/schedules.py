@@ -73,6 +73,10 @@ class ScheduledOptimizer:
     def current_lr(self) -> float:
         return self._base_lr * self.schedule.multiplier(self._step)
 
+    @property
+    def params(self):
+        return self.optimizer.params
+
     def zero_grad(self) -> None:
         self.optimizer.zero_grad()
 
@@ -80,3 +84,24 @@ class ScheduledOptimizer:
         self.optimizer.lr = self.current_lr
         self.optimizer.step()
         self._step += 1
+
+    def clip_gradients(self, max_norm: float) -> float:
+        return self.optimizer.clip_gradients(max_norm)
+
+    def state_dict(self) -> dict:
+        """Schedule position plus the wrapped optimizer's state.
+
+        Without this, checkpoint resume used to restore only the inner
+        optimizer and silently restart the schedule at step 0 — the
+        resumed run trained at warmup learning rates mid-search.
+        """
+        return {
+            "step": self._step,
+            "base_lr": self._base_lr,
+            "optimizer": self.optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step = int(state["step"])
+        self._base_lr = float(state["base_lr"])
+        self.optimizer.load_state_dict(state["optimizer"])

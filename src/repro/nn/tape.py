@@ -1,0 +1,230 @@
+"""Tape/graph reuse: build an op graph once, replay it with new inputs.
+
+The closure-graph autograd in :mod:`repro.nn.tensor` re-allocates every
+node of the network on every forward pass.  For the search hot path
+that is pure overhead: the super-network's topology is *fixed per
+architecture* — only the input batch changes between steps.  This
+module compiles one forward build into a :class:`CompiledGraph` that
+can be replayed:
+
+* **inputs bind by copy** — the graph owns one buffer per named input;
+  ``run()`` copies the new batch into the buffers, and every leaf
+  tensor (and index view) created from them during tracing sees the
+  fresh data for free;
+* **forward replay** walks the cached topological order calling each
+  node's ``recompute`` closure (which also refreshes the saved
+  activation state its backward needs);
+* **backward replay** (`Tensor.backward` delegates here via the
+  ``_tape`` slot) walks the cached reverse order, skipping the
+  per-step topological sort.
+
+Replayed results are bit-identical to a freshly built graph: replay
+runs the same NumPy expressions on the same operands in the same
+order — nothing is approximated, only the Python graph construction is
+skipped (DESIGN.md §11).
+
+:class:`TapeCache` is the LRU keyed the way ``ArchMetricsCache`` keys
+metrics — by architecture (plus input-shape signature), with plain-int
+hit/miss/eviction counters that are safe to read from the engine
+thread and cheap to bump from worker threads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, trace_graph
+
+#: Environment kill-switch: set ``REPRO_TAPE=0`` to disable graph reuse
+#: (every pass rebuilds eagerly, the pre-reuse behavior).
+TAPE_ENV = "REPRO_TAPE"
+
+
+def tape_enabled() -> bool:
+    """Whether tape reuse is enabled for this process (default: yes)."""
+    return os.environ.get(TAPE_ENV, "1").lower() not in ("0", "false", "off")
+
+
+def _walk_retained(root: Tensor) -> List[Tensor]:
+    """All reachable nodes with retained parents, parents-first."""
+    topo: List[Tensor] = []
+    seen: set = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in seen:
+                stack.append((parent, False))
+    return topo
+
+
+def _grad_topo(root: Tensor) -> List[Tensor]:
+    """Reverse-order gradient node list, exactly as ``Tensor.backward``
+    computes it (same DFS, same ordering), cached once per graph."""
+    topo: List[Tensor] = []
+    seen: set = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in seen:
+                stack.append((parent, False))
+    return list(reversed(topo))
+
+
+class CompiledGraph:
+    """One traced forward (and its backward) bound to input buffers."""
+
+    __slots__ = ("output", "buffers", "_nodes", "_grad_order", "_lock")
+
+    def __init__(self, output: Tensor, buffers: Mapping[str, np.ndarray]):
+        self.output = output
+        self.buffers = dict(buffers)
+        walk = _walk_retained(output)
+        # Interior nodes in forward order; leaves carry no recompute.
+        self._nodes = [n for n in walk if n._recompute is not None]
+        self._grad_order = _grad_topo(output) if output.requires_grad else []
+        self._lock = threading.RLock()
+        output._tape = self
+
+    # -- replay --------------------------------------------------------
+    def _bind(self, arrays: Mapping[str, np.ndarray]) -> None:
+        for name, buf in self.buffers.items():
+            src = np.asarray(arrays[name])
+            if src.shape != buf.shape:
+                raise ValueError(
+                    f"input {name!r}: shape {src.shape} does not match "
+                    f"compiled shape {buf.shape}"
+                )
+            np.copyto(buf, src)
+
+    def _replay(self) -> Tensor:
+        for node in self._nodes:
+            # Reset interior grads so a later backward — cached-order or
+            # generic — starts from a clean slate even after many runs.
+            node.grad = None
+            node.data = node._recompute()
+        return self.output
+
+    def run(self, arrays: Mapping[str, np.ndarray]) -> Tensor:
+        """Bind ``arrays`` into the input buffers and replay the graph.
+
+        Returns the live output tensor; callers that extract values
+        concurrently should use :meth:`call` instead.
+        """
+        with self._lock:
+            self._bind(arrays)
+            return self._replay()
+
+    def call(self, arrays: Mapping[str, np.ndarray], consume: Callable[[Tensor], Any]) -> Any:
+        """Replay and apply ``consume`` to the output *under the graph
+        lock* — the safe way to extract metrics when the same graph may
+        be replayed concurrently (e.g. duplicate candidates fanned out
+        across backend workers)."""
+        with self._lock:
+            self._bind(arrays)
+            return consume(self._replay())
+
+    # -- backward fast path (invoked from Tensor.backward) -------------
+    def run_backward(self, root: Tensor, grad: np.ndarray) -> None:
+        root._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in self._grad_order:
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+
+def compile_graph(
+    build: Callable[[Dict[str, np.ndarray]], Tensor],
+    arrays: Mapping[str, np.ndarray],
+) -> CompiledGraph:
+    """Trace ``build`` over buffered copies of ``arrays``.
+
+    ``build`` receives a dict of graph-owned arrays (float64 for float
+    inputs, int64 for integer ones — the dtypes ``Tensor`` and
+    ``gather_rows`` normalize to, so tracing wraps the buffers
+    themselves rather than converted copies) and must construct the
+    output tensor from them.
+    """
+    buffers: Dict[str, np.ndarray] = {}
+    for name, value in arrays.items():
+        value = np.asarray(value)
+        dtype = np.int64 if np.issubdtype(value.dtype, np.integer) else np.float64
+        buffers[name] = np.array(value, dtype=dtype, copy=True)
+    with trace_graph():
+        output = build(buffers)
+    return CompiledGraph(output, buffers)
+
+
+class TapeCache:
+    """LRU of :class:`CompiledGraph` keyed by (arch, kind, shapes).
+
+    Counters are plain ints: incrementing them from backend workers is
+    tolerable (they feed telemetry, not control flow) and reading them
+    from the engine thread needs no lock.  Graph construction itself is
+    serialized so concurrent misses on one key build a single graph.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._graphs: "OrderedDict[Hashable, CompiledGraph]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(
+        self, key: Hashable, factory: Callable[[], CompiledGraph]
+    ) -> CompiledGraph:
+        with self._lock:
+            graph = self._graphs.get(key)
+            if graph is not None:
+                self._graphs.move_to_end(key)
+                self.hits += 1
+                return graph
+            self.misses += 1
+            graph = factory()
+            self._graphs[key] = graph
+            while len(self._graphs) > self.capacity:
+                self._graphs.popitem(last=False)
+                self.evictions += 1
+            return graph
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._graphs.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._graphs),
+        }

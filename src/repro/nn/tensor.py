@@ -11,15 +11,48 @@ reductions, reshaping, gather (embedding lookup), and masking.
 The design is deliberately simple: each ``Tensor`` records its parents
 and a closure that accumulates gradients into them; ``backward`` runs a
 topological sort and applies the closures in reverse order.
+
+Two hot-path mechanisms live here (see DESIGN.md §11):
+
+* every op also records a ``recompute`` closure that re-evaluates its
+  forward value from its parents' current ``data``, which is what lets
+  :mod:`repro.nn.tape` replay a built graph with new inputs instead of
+  re-allocating the closure graph every step;
+* ``_accumulate`` keeps a per-node gradient buffer (``_buf``) that
+  survives ``zero_grad``, so steady-state training reuses one array per
+  node instead of allocating a fresh copy on every first touch.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+import threading
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+#: Thread-local flag set while a graph is being traced for tape reuse.
+#: While active, tensors retain their parents and recompute closures
+#: even when no gradient flows through them, so constant sub-graphs
+#: (e.g. quality-only forwards) stay replayable.
+_TRACE_STATE = threading.local()
+
+
+def _tracing() -> bool:
+    return getattr(_TRACE_STATE, "active", False)
+
+
+class trace_graph:
+    """Context manager enabling graph tracing on the current thread."""
+
+    def __enter__(self) -> "trace_graph":
+        self._previous = _tracing()
+        _TRACE_STATE.active = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _TRACE_STATE.active = self._previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -45,7 +78,17 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A NumPy array with reverse-mode gradient tracking."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward",
+        "_recompute",
+        "_buf",
+        "_tape",
+        "name",
+    )
 
     def __init__(
         self,
@@ -54,12 +97,27 @@ class Tensor:
         parents: Tuple["Tensor", ...] = (),
         backward: Optional[Callable[[np.ndarray], None]] = None,
         name: Optional[str] = None,
+        recompute: Optional[Callable[[], np.ndarray]] = None,
     ):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
+        self._buf: Optional[np.ndarray] = None
+        self._tape = None
         self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
-        self._parents = parents if self.requires_grad else ()
-        self._backward = backward if self.requires_grad else None
+        if self.requires_grad:
+            self._parents = parents
+            self._backward = backward
+            self._recompute = recompute
+        elif parents and _tracing():
+            # Constant sub-graph inside a trace: keep the structure so
+            # tape replay can refresh it, but never run backward on it.
+            self._parents = parents
+            self._backward = None
+            self._recompute = recompute
+        else:
+            self._parents = ()
+            self._backward = None
+            self._recompute = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -99,11 +157,19 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            grad = np.asarray(grad, dtype=np.float64)
+            buf = self._buf
+            if buf is not None and buf.shape == grad.shape:
+                np.copyto(buf, grad)
+                self.grad = buf
+            else:
+                self.grad = self._buf = np.array(grad, copy=True)
         else:
             self.grad += grad
 
     def zero_grad(self) -> None:
+        # The preallocated buffer survives: the next backward pass
+        # copies into it instead of allocating a fresh array.
         self.grad = None
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
@@ -118,9 +184,16 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without a gradient requires a scalar")
             grad = np.ones_like(self.data)
-        topo: list[Tensor] = []
+        tape = self._tape
+        if tape is not None:
+            # Compiled-graph fast path: the reverse topological order was
+            # cached at compile time (it is a function of graph structure
+            # only), so replayed steps skip the sort entirely.
+            tape.run_backward(self, grad)
+            return
+        topo: List[Tensor] = []
         seen: set[int] = set()
-        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
         while stack:
             node, processed = stack.pop()
             if processed:
@@ -143,23 +216,28 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data + other.data
+
+        def compute() -> np.ndarray:
+            return self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                self._accumulate(_unbroadcast(grad, self.data.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                other._accumulate(_unbroadcast(grad, other.data.shape))
 
-        return Tensor(out_data, parents=(self, other), backward=backward)
+        return Tensor(compute(), parents=(self, other), backward=backward, recompute=compute)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        def compute() -> np.ndarray:
+            return -self.data
+
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor(-self.data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other))
@@ -169,31 +247,35 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data * other.data
+
+        def compute() -> np.ndarray:
+            return self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
 
-        return Tensor(out_data, parents=(self, other), backward=backward)
+        return Tensor(compute(), parents=(self, other), backward=backward, recompute=compute)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data / other.data
+
+        def compute() -> np.ndarray:
+            return self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                    _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
                 )
 
-        return Tensor(out_data, parents=(self, other), backward=backward)
+        return Tensor(compute(), parents=(self, other), backward=backward, recompute=compute)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -201,128 +283,199 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data**exponent
+
+        def compute() -> np.ndarray:
+            return self.data**exponent
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+
+        def compute() -> np.ndarray:
+            return self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other.data
+            g = np.asarray(grad)
             if self.requires_grad:
-                if other.data.ndim == 1:
-                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data)
+                if b.ndim == 1:
+                    if a.ndim == 1:
+                        # (k,) @ (k,) -> scalar
+                        self._accumulate(g * b)
+                    else:
+                        # (..., m, k) @ (k,) -> (..., m)
+                        self._accumulate(_unbroadcast(g[..., None] * b, a.shape))
+                elif a.ndim == 1:
+                    # (k,) @ (..., k, n) -> (..., n)
+                    ga = (b @ g[..., None])[..., 0]
+                    self._accumulate(_unbroadcast(ga, a.shape))
                 else:
-                    g = grad @ np.swapaxes(other.data, -1, -2)
-                    self._accumulate(_unbroadcast(g, self.shape))
+                    ga = g @ np.swapaxes(b, -1, -2)
+                    self._accumulate(_unbroadcast(ga, a.shape))
             if other.requires_grad:
-                if self.data.ndim == 1:
-                    other._accumulate(np.outer(self.data, grad))
+                if a.ndim == 1:
+                    if b.ndim == 1:
+                        # (k,) @ (k,) -> scalar
+                        other._accumulate(g * a)
+                    else:
+                        # (k,) @ (..., k, n) -> (..., n)
+                        gb = a[:, None] * g[..., None, :]
+                        other._accumulate(_unbroadcast(gb, b.shape))
+                elif b.ndim == 1:
+                    # (..., m, k) @ (k,) -> (..., m)
+                    gb = (np.swapaxes(a, -1, -2) @ g[..., None])[..., 0]
+                    other._accumulate(_unbroadcast(gb, b.shape))
                 else:
-                    g = np.swapaxes(self.data, -1, -2) @ grad
-                    other._accumulate(_unbroadcast(g, other.shape))
+                    gb = np.swapaxes(a, -1, -2) @ g
+                    other._accumulate(_unbroadcast(gb, b.shape))
 
-        return Tensor(out_data, parents=(self, other), backward=backward)
+        return Tensor(compute(), parents=(self, other), backward=backward, recompute=compute)
 
     # ------------------------------------------------------------------
     # Activations and element-wise functions
     # ------------------------------------------------------------------
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
+        saved = {}
+
+        def compute() -> np.ndarray:
+            saved["mask"] = mask = self.data > 0
+            return self.data * mask
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * saved["mask"])
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def squared_relu(self) -> "Tensor":
         """``relu(x)**2`` — the activation H2O-NAS selects for CoAtNet-H."""
-        pos = np.maximum(self.data, 0.0)
-        out_data = pos * pos
+        saved = {}
+
+        def compute() -> np.ndarray:
+            saved["pos"] = pos = np.maximum(self.data, 0.0)
+            return pos * pos
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 2.0 * pos)
+            self._accumulate(grad * 2.0 * saved["pos"])
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        saved = {}
+
+        def compute() -> np.ndarray:
+            saved["out"] = out = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+            return out
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data * (1.0 - out_data))
+            out = saved["out"]
+            self._accumulate(grad * out * (1.0 - out))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def swish(self) -> "Tensor":
         """``x * sigmoid(x)`` (a.k.a. SiLU), used in the CNN search space."""
-        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
-        out_data = self.data * sig
+        saved = {}
+
+        def compute() -> np.ndarray:
+            saved["sig"] = sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+            return self.data * sig
 
         def backward(grad: np.ndarray) -> None:
+            sig = saved["sig"]
             self._accumulate(grad * (sig + self.data * sig * (1.0 - sig)))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def gelu(self) -> "Tensor":
         """Tanh approximation of GELU, used in the ViT search space."""
         c = np.sqrt(2.0 / np.pi)
-        inner = c * (self.data + 0.044715 * self.data**3)
-        tanh = np.tanh(inner)
-        out_data = 0.5 * self.data * (1.0 + tanh)
+        saved = {}
+
+        def compute() -> np.ndarray:
+            inner = c * (self.data + 0.044715 * self.data**3)
+            saved["tanh"] = tanh = np.tanh(inner)
+            return 0.5 * self.data * (1.0 + tanh)
 
         def backward(grad: np.ndarray) -> None:
+            tanh = saved["tanh"]
             sech2 = 1.0 - tanh**2
             d_inner = c * (1.0 + 3 * 0.044715 * self.data**2)
             self._accumulate(grad * (0.5 * (1.0 + tanh) + 0.5 * self.data * sech2 * d_inner))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        saved = {}
+
+        def compute() -> np.ndarray:
+            saved["out"] = out = np.tanh(self.data)
+            return out
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data**2))
+            out = saved["out"]
+            self._accumulate(grad * (1.0 - out**2))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def softmax(self, axis: int = -1) -> "Tensor":
-        """Numerically stable softmax along ``axis``.
+        """Numerically stable softmax along ``axis``, as one fused node.
 
-        The stabilizing max-shift is treated as a constant (its
-        contribution to the gradient cancels exactly), so the op
-        composes from exp/sum/div primitives.
+        The stabilizing max-shift is a constant w.r.t. the gradient (its
+        contribution cancels exactly); fusing it into the node keeps it
+        fresh under tape replay, where a composed constant would go
+        stale.  The backward applies the exact shifted-exp/sum/div
+        chain rule the composed implementation produced.
         """
-        shift = Tensor(self.data.max(axis=axis, keepdims=True))
-        shifted = self - shift
-        exp = shifted.exp()
-        return exp / exp.sum(axis=axis, keepdims=True)
+        saved = {}
 
-    def exp(self) -> "Tensor":
-        out_data = np.exp(np.clip(self.data, -700.0, 700.0))
+        def compute() -> np.ndarray:
+            shift = self.data.max(axis=axis, keepdims=True)
+            exp = np.exp(np.clip(self.data - shift, -700.0, 700.0))
+            total = exp.sum(axis=axis, keepdims=True)
+            saved["exp"] = exp
+            saved["total"] = total
+            return exp / total
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
+            exp, total = saved["exp"], saved["total"]
+            d_exp = np.array(grad / total, copy=True)
+            d_total = _unbroadcast(-grad * exp / (total**2), total.shape)
+            d_exp += np.broadcast_to(d_total, exp.shape)
+            self._accumulate(_unbroadcast(d_exp * exp, self.data.shape))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
+
+    def exp(self) -> "Tensor":
+        saved = {}
+
+        def compute() -> np.ndarray:
+            saved["out"] = out = np.exp(np.clip(self.data, -700.0, 700.0))
+            return out
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * saved["out"])
+
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        def compute() -> np.ndarray:
+            return np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     # ------------------------------------------------------------------
     # Reductions and shape manipulation
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        def compute() -> np.ndarray:
+            return self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             g = np.asarray(grad)
@@ -331,9 +484,9 @@ class Tensor:
                 axes = tuple(a % self.data.ndim for a in axes)
                 for a in sorted(axes):
                     g = np.expand_dims(g, a)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -344,38 +497,49 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def reshape(self, *shape: int) -> "Tensor":
-        out_data = self.data.reshape(*shape)
+        def compute() -> np.ndarray:
+            return self.data.reshape(*shape)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(self.shape))
+            self._accumulate(grad.reshape(self.data.shape))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def transpose(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])  # numpy-style transpose((1, 0))
         axes_t = axes if axes else tuple(reversed(range(self.data.ndim)))
-        out_data = self.data.transpose(axes_t)
         inverse = np.argsort(axes_t)
+
+        def compute() -> np.ndarray:
+            return self.data.transpose(axes_t)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def gather_rows(self, indices: np.ndarray) -> "Tensor":
         """Select rows by integer index — the embedding-lookup primitive.
 
         ``indices`` has any shape; the output has shape
-        ``indices.shape + (row_width,)``.
+        ``indices.shape + (row_width,)``.  The index array is read anew
+        on every recompute, so a replayed graph whose index array is a
+        bound input buffer sees fresh ids.
         """
         indices = np.asarray(indices, dtype=np.int64)
-        out_data = self.data[indices]
+        saved = {}
+
+        def compute() -> np.ndarray:
+            saved["idx"] = idx = np.asarray(indices, dtype=np.int64)
+            return self.data[idx]
 
         def backward(grad: np.ndarray) -> None:
             g = np.zeros_like(self.data)
-            np.add.at(g, indices, grad)
+            np.add.at(g, saved["idx"], grad)
             self._accumulate(g)
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def mask(self, mask_array: np.ndarray) -> "Tensor":
         """Multiply by a constant 0/1 mask (broadcastable).
@@ -385,12 +549,14 @@ class Tensor:
         sub-matrix of the widest weights by masking the rest out.
         """
         mask_array = np.asarray(mask_array, dtype=np.float64)
-        out_data = self.data * mask_array
+
+        def compute() -> np.ndarray:
+            return self.data * mask_array
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * mask_array, self.shape))
+            self._accumulate(_unbroadcast(grad * mask_array, self.data.shape))
 
-        return Tensor(out_data, parents=(self,), backward=backward)
+        return Tensor(compute(), parents=(self,), backward=backward, recompute=compute)
 
     def clip_norm_value(self) -> float:
         """L2 norm of the data (convenience for diagnostics)."""
@@ -405,9 +571,11 @@ def as_tensor(value: ArrayLike) -> Tensor:
 def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+
+    def compute() -> np.ndarray:
+        return np.concatenate([t.data for t in tensors], axis=axis)
 
     def backward(grad: np.ndarray) -> None:
         for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
@@ -416,14 +584,32 @@ def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(slicer)])
 
-    return Tensor(out_data, parents=tuple(tensors), backward=backward)
+    return Tensor(compute(), parents=tuple(tensors), backward=backward, recompute=compute)
 
 
 def stack_mean(tensors: Sequence[Tensor]) -> Tensor:
-    """Mean of several same-shaped tensors (cross-shard weight update)."""
+    """Mean of several same-shaped tensors (cross-shard weight update).
+
+    A single graph node: the previous left-fold built an O(n)-deep
+    add chain per weight update.  The forward accumulates in the same
+    left-to-right order, and every input receives the same ``grad / n``
+    array the chain produced, so values are bit-identical.
+    """
+    tensors = [as_tensor(t) for t in tensors]
     if not tensors:
         raise ValueError("stack_mean requires at least one tensor")
-    total = tensors[0]
-    for tensor in tensors[1:]:
-        total = total + tensor
-    return total * (1.0 / len(tensors))
+    inv = 1.0 / len(tensors)
+
+    def compute() -> np.ndarray:
+        total = np.array(tensors[0].data, dtype=np.float64, copy=True)
+        for tensor in tensors[1:]:
+            total += tensor.data
+        return total * inv
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad * inv
+        for tensor in tensors:
+            if tensor.requires_grad:
+                tensor._accumulate(_unbroadcast(g, tensor.data.shape))
+
+    return Tensor(compute(), parents=tuple(tensors), backward=backward, recompute=compute)

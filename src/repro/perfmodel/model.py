@@ -17,7 +17,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..nn import MLP, Tensor
+from ..nn import MLP, Tensor, mse
+from ..nn.tape import TapeCache, compile_graph, tape_enabled
 from ..searchspace.base import Architecture
 from .features import ArchitectureEncoder
 
@@ -62,6 +63,40 @@ class PerformanceModel:
     def forward(self, features: np.ndarray) -> Tensor:
         """Normalized log-time predictions, shape ``(batch, 2)``."""
         return self.mlp(Tensor(features))
+
+    def training_loss(self, features: np.ndarray, targets: np.ndarray) -> Tensor:
+        """MSE of the MLP against normalized log-time ``targets``.
+
+        The model's topology is fixed, so the forward+loss graph is
+        compiled once per ``(features, targets)`` shape pair and
+        replayed with fresh minibatches — the same tape reuse the
+        super-networks get, applied to the trainer's epoch loop.
+        """
+        if not tape_enabled():
+            return mse(self.forward(features), targets)
+        cache = getattr(self, "_tapes", None)
+        if cache is None:
+            cache = self._tapes = TapeCache(capacity=8)
+        arrays = {
+            "features": np.asarray(features),
+            "targets": np.asarray(targets),
+        }
+        key = (arrays["features"].shape, arrays["targets"].shape)
+
+        def factory():
+            def build(buffers):
+                return mse(self.forward(buffers["features"]), buffers["targets"])
+
+            return compile_graph(build, arrays)
+
+        return cache.get_or_build(key, factory).run(arrays)
+
+    def tape_stats(self) -> Dict[str, int]:
+        """Counters of the compiled-graph cache (zeros before first use)."""
+        cache = getattr(self, "_tapes", None)
+        if cache is None:
+            return {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        return cache.stats()
 
     def predict_log_times(self, archs: Sequence[Architecture]) -> np.ndarray:
         features = self.encoder.encode_batch(archs)

@@ -18,7 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn import Adam, Tensor, mse
+from ..nn import Adam
 from ..searchspace.base import Architecture, SearchSpace
 from .metrics import nrmse
 from .model import PerformanceModel
@@ -207,7 +207,7 @@ class TwoPhaseTrainer:
             for start in range(0, n, batch):
                 idx = order[start : start + batch]
                 optimizer.zero_grad()
-                loss = mse(self.model.forward(features[idx]), log_targets[idx])
+                loss = self.model.training_loss(features[idx], log_targets[idx])
                 loss.backward()
                 optimizer.step()
                 final_loss = loss.item()

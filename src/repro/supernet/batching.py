@@ -24,14 +24,19 @@ transparently.
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol, Sequence, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
-from ..nn import Tensor
+from ..nn import Tensor, stack_mean
+from ..nn import layers as nn_layers
+from ..nn.tape import CompiledGraph, TapeCache, compile_graph, tape_enabled
 from ..searchspace.base import Architecture
 
 NamedInputs = Dict[str, np.ndarray]
+
+#: Key under which labels ride in a compiled graph's input buffers.
+_LABELS_KEY = "__labels__"
 
 
 @runtime_checkable
@@ -85,13 +90,131 @@ class StackedScoringMixin:
     """Batched ``quality_many`` / ``loss_many`` over one architecture.
 
     Hosts must provide ``forward(arch, inputs) -> Tensor`` of per-example
-    logits, ``loss(arch, inputs, labels) -> Tensor`` (a *mean* over the
-    batch), and :meth:`quality_from_logits`.
+    logits plus :meth:`quality_from_logits` and :meth:`loss_from_logits`;
+    the mixin derives ``loss`` / ``quality`` from them and routes both
+    through per-``(kind, arch, shapes)`` compiled graphs (see
+    :mod:`repro.nn.tape`) when the host opts in via ``tape_compatible``.
+    Replay is bit-identical to the eager build, so the search trajectory
+    does not depend on cache hits.
     """
+
+    #: Hosts whose ``forward`` is replay-safe (fused layers only, no
+    #: Python control flow on input *values*) flip this on to get tape
+    #: reuse.  Defaults off so unknown subclasses stay eager.
+    tape_compatible: bool = False
+
+    #: LRU capacity of the per-instance graph cache.  Sized like the
+    #: engine's ``ArchMetricsCache``: a converged single-step search
+    #: revisits a handful of architectures per generation.
+    tape_capacity: int = 64
 
     def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
         """Per-batch quality metric from already-computed logits."""
         raise NotImplementedError
+
+    def loss_from_logits(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        """Mean training loss from already-computed logits."""
+        raise NotImplementedError
+
+    # -- compiled-graph plumbing ---------------------------------------
+    def _tape_cache(self) -> TapeCache:
+        cache = self.__dict__.get("_tapes")
+        if cache is None:
+            cache = self.__dict__["_tapes"] = TapeCache(self.tape_capacity)
+        return cache
+
+    def _tape_active(self) -> bool:
+        return (
+            self.tape_compatible and nn_layers.FUSED_KERNELS and tape_enabled()
+        )
+
+    def _compiled(
+        self,
+        kind: str,
+        arch: Architecture,
+        inputs: NamedInputs,
+        labels: Optional[np.ndarray] = None,
+    ) -> Optional[Tuple[CompiledGraph, Dict[str, np.ndarray]]]:
+        """Compiled graph for ``(kind, arch, shapes)`` plus bound arrays.
+
+        Returns ``None`` when tape reuse is off — callers then run the
+        eager path.  Labels travel through the graph's input buffers
+        (under :data:`_LABELS_KEY`) so loss graphs replay against fresh
+        targets, not the targets seen at trace time.
+        """
+        if not self._tape_active():
+            return None
+        arrays: Dict[str, np.ndarray] = {
+            name: np.asarray(value) for name, value in inputs.items()
+        }
+        if labels is not None:
+            arrays[_LABELS_KEY] = np.asarray(labels)
+        signature = tuple(
+            sorted((name, value.shape) for name, value in arrays.items())
+        )
+        key = (kind, arch, signature)
+        input_names = [name for name in arrays if name != _LABELS_KEY]
+
+        def factory() -> CompiledGraph:
+            def build(buffers: Dict[str, np.ndarray]) -> Tensor:
+                feed = {name: buffers[name] for name in input_names}
+                logits = self.forward(arch, feed)
+                if kind == "loss":
+                    return self.loss_from_logits(logits, buffers[_LABELS_KEY])
+                return logits
+
+            return compile_graph(build, arrays)
+
+        return self._tape_cache().get_or_build(key, factory), arrays
+
+    def tape_stats(self) -> Dict[str, int]:
+        """Process-lifetime counters of the instance's graph cache."""
+        cache = self.__dict__.get("_tapes")
+        if cache is None:
+            return {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        return cache.stats()
+
+    # -- single-batch scoring ------------------------------------------
+    def loss(
+        self, arch: Architecture, inputs: NamedInputs, labels: np.ndarray
+    ) -> Tensor:
+        """Mean training loss of ``arch`` on one batch (compiled when
+        the host is tape-compatible)."""
+        bound = self._compiled("loss", arch, inputs, labels)
+        if bound is None:
+            return self.loss_from_logits(self.forward(arch, inputs), labels)
+        graph, arrays = bound
+        return graph.run(arrays)
+
+    def quality(
+        self, arch: Architecture, inputs: NamedInputs, labels: np.ndarray
+    ) -> float:
+        """Per-batch quality of ``arch`` on one batch.
+
+        The metric is extracted under the graph lock: the engine's
+        score stage fans duplicate candidates out across workers, and
+        two workers replaying one graph must not interleave bind /
+        read."""
+        bound = self._compiled("forward", arch, inputs)
+        if bound is None:
+            return self.quality_from_logits(self.forward(arch, inputs), labels)
+        graph, arrays = bound
+        return graph.call(
+            arrays, lambda logits: self.quality_from_logits(logits, labels)
+        )
+
+    def _loss_uncompiled(
+        self, arch: Architecture, inputs: NamedInputs, labels: np.ndarray
+    ) -> Tensor:
+        """Per-batch loss that never shares a compiled graph.
+
+        The unequal-size ``loss_many`` fallback keeps several loss
+        tensors alive at once; replaying one compiled graph for two
+        batches would alias them onto a single output node.  Hosts that
+        override ``loss`` keep their override."""
+        if type(self).loss is not StackedScoringMixin.loss:
+            return self.loss(arch, inputs, labels)
+        return self.loss_from_logits(self.forward(arch, inputs), labels)
 
     def quality_many(
         self,
@@ -104,16 +227,24 @@ class StackedScoringMixin:
             raise ValueError("inputs and labels sequences must align")
         if len(inputs_seq) == 1:
             return [self.quality(arch, inputs_seq[0], labels_seq[0])]
-        logits = self.forward(arch, stack_named_inputs(inputs_seq))
-        qualities: List[float] = []
-        start = 0
-        for labels in labels_seq:
-            end = start + int(np.asarray(labels).shape[0])
-            qualities.append(
-                self.quality_from_logits(Tensor(logits.data[start:end]), labels)
-            )
-            start = end
-        return qualities
+        stacked = stack_named_inputs(inputs_seq)
+
+        def slice_qualities(logits: Tensor) -> List[float]:
+            qualities: List[float] = []
+            start = 0
+            for labels in labels_seq:
+                end = start + int(np.asarray(labels).shape[0])
+                qualities.append(
+                    self.quality_from_logits(Tensor(logits.data[start:end]), labels)
+                )
+                start = end
+            return qualities
+
+        bound = self._compiled("forward", arch, stacked)
+        if bound is None:
+            return slice_qualities(self.forward(arch, stacked))
+        graph, arrays = bound
+        return graph.call(arrays, slice_qualities)
 
     def loss_many(
         self,
@@ -125,7 +256,12 @@ class StackedScoringMixin:
 
         Batches of unequal size cannot share a stacked mean (it would
         weight examples, not batches), so they fall back to per-batch
-        passes combined into the same mean.
+        passes combined into the same mean.  The fallback builds each
+        per-batch loss eagerly — replaying one compiled graph would
+        alias the live loss tensors — and combines them with the
+        single-node :func:`repro.nn.stack_mean`, whose left-fold
+        accumulation matches the old ``(a + b + ...) * (1/n)`` chain
+        bit-for-bit.
         """
         if len(inputs_seq) != len(labels_seq):
             raise ValueError("inputs and labels sequences must align")
@@ -137,7 +273,8 @@ class StackedScoringMixin:
                 [np.asarray(labels) for labels in labels_seq], axis=0
             )
             return self.loss(arch, stack_named_inputs(inputs_seq), stacked_labels)
-        total = self.loss(arch, inputs_seq[0], labels_seq[0])
-        for inputs, labels in zip(inputs_seq[1:], labels_seq[1:]):
-            total = total + self.loss(arch, inputs, labels)
-        return total * (1.0 / len(inputs_seq))
+        losses = [
+            self._loss_uncompiled(arch, inputs, labels)
+            for inputs, labels in zip(inputs_seq, labels_seq)
+        ]
+        return stack_mean(losses)

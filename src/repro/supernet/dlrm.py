@@ -171,6 +171,11 @@ class _MlpStack(Module):
 class DlrmSuperNetwork(StackedScoringMixin, Module):
     """The hybrid fine/coarse weight-sharing DLRM super-network."""
 
+    #: The forward is pure fused-layer data flow per architecture
+    #: (decision-dependent control flow only), so compiled-graph replay
+    #: is safe.
+    tape_compatible = True
+
     def __init__(self, config: Optional[DlrmSupernetConfig] = None):
         self.config = config = config or DlrmSupernetConfig()
         rng = np.random.default_rng(config.seed)
@@ -212,21 +217,6 @@ class DlrmSuperNetwork(StackedScoringMixin, Module):
             rng=rng,
         )
         self.head = Dense(config.max_top_width, 1, rng, activation_name="linear")
-        # The embedding lists are nested dicts, which Module._collect does
-        # not traverse; register their tensors explicitly.
-        self._embedding_params = [
-            table[scale].table
-            for table in self.embeddings
-            for scale in VOCAB_SCALES
-        ]
-
-    # ------------------------------------------------------------------
-    def _collect(self, params, seen) -> None:  # noqa: D401 - Module hook
-        super()._collect(params, seen)
-        for tensor in self._embedding_params:
-            if id(tensor) not in seen:
-                seen.add(id(tensor))
-                params.append(tensor)
 
     # ------------------------------------------------------------------
     def forward(self, arch: Architecture, inputs: Dict[str, np.ndarray]) -> Tensor:
@@ -246,15 +236,14 @@ class DlrmSuperNetwork(StackedScoringMixin, Module):
         parts.append(bottom_out)
         # Embedding lookups (coarse vocab table + fine width mask).  In
         # the fine-sharing ablation, a smaller vocabulary wraps ids into
-        # the first rows of the shared table.
+        # the first rows of the shared table; the wrap happens inside
+        # the lookup node so tape replays re-wrap the live id buffer.
         for t in range(cfg.num_tables):
             scale = float(arch[f"emb{t}/vocab_scale"])
             width = cfg.embedding_width(int(arch[f"emb{t}/width_delta"]))
             table = self.embeddings[t][scale]
-            ids = sparse[:, t]
-            if cfg.vocab_sharing == "fine":
-                ids = ids % cfg.vocab_size(scale)
-            parts.append(table(ids, active_width=width))
+            wrap = cfg.vocab_size(scale) if cfg.vocab_sharing == "fine" else None
+            parts.append(table(sparse[:, t], active_width=width, wrap=wrap))
         interaction = concatenate(parts, axis=-1)
         # Top MLP over the interaction vector.
         top_width = self._stack_width(arch, "dense1", cfg.base_top_width)
@@ -267,14 +256,11 @@ class DlrmSuperNetwork(StackedScoringMixin, Module):
         )
         return self.head(top_out)
 
-    def loss(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> Tensor:
-        return bce_with_logits(self.forward(arch, inputs), labels)
-
-    def quality(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> float:
-        """Label accuracy of ``arch`` on one batch (the quality signal Q)."""
-        return binary_accuracy(self.forward(arch, inputs), labels)
+    def loss_from_logits(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return bce_with_logits(logits, labels)
 
     def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
+        """Label accuracy from logits (the quality signal Q)."""
         return binary_accuracy(logits, labels)
 
     # ------------------------------------------------------------------

@@ -131,6 +131,10 @@ class _ProxyBlock(Module):
 class VisionSuperNetwork(StackedScoringMixin, Module):
     """Proxy super-network consuming CNN-space architectures."""
 
+    #: Per-architecture data flow only (no input-value control flow), so
+    #: compiled-graph replay is safe.
+    tape_compatible = True
+
     def __init__(self, config: Optional[VisionSupernetConfig] = None):
         self.config = config = config or VisionSupernetConfig()
         rng = np.random.default_rng(config.seed)
@@ -161,12 +165,9 @@ class VisionSuperNetwork(StackedScoringMixin, Module):
             in_width = width
         return self.head(x)
 
-    def loss(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> Tensor:
-        return softmax_cross_entropy(self.forward(arch, inputs), labels)
-
-    def quality(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> float:
-        """Top-1 accuracy of ``arch`` on one batch (the quality signal Q)."""
-        return accuracy(self.forward(arch, inputs), labels)
+    def loss_from_logits(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return softmax_cross_entropy(logits, labels)
 
     def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
+        """Top-1 accuracy from logits (the quality signal Q)."""
         return accuracy(logits, labels)

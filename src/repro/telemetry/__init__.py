@@ -63,6 +63,9 @@ CHURN_PREFIXES: Tuple[str, ...] = (
     "checkpoint.",
     "recovery.",
     "testbed.",
+    # Tape/graph-reuse counters describe this process's compiled-graph
+    # cache (rebuilt empty after every restart), not run progress.
+    "nn.",
 )
 
 #: File the final counter snapshot is written to under the telemetry dir.

@@ -1,0 +1,420 @@
+"""Tape/graph reuse: replayed graphs must be bit-identical to eager.
+
+The contract under test (DESIGN.md §11): compiling a supernet's
+forward+loss once per architecture and replaying it with fresh batches
+changes *nothing* about the numbers — losses, qualities, gradients, and
+whole search trajectories match the eager rebuild-every-step path
+exactly, across optimizer updates, backend choices, and crash/resume.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PerformanceObjective,
+    SearchConfig,
+    SingleStepSearch,
+    relu_reward,
+)
+from repro.data import CtrTaskConfig, CtrTeacher, SingleStepPipeline
+from repro.nn import (
+    Adam,
+    CosineSchedule,
+    ScheduledOptimizer,
+    TapeCache,
+    Tensor,
+    compile_graph,
+    mse,
+    tape_enabled,
+)
+from repro.nn.tape import TAPE_ENV, CompiledGraph
+from repro.searchspace import DlrmSpaceConfig, dlrm_search_space
+from repro.searchspace.cnn import CnnSpaceConfig, cnn_search_space
+from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
+from repro.supernet.vision import VisionSuperNetwork
+
+NUM_TABLES = 2
+
+
+def build_space():
+    return dlrm_search_space(DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2))
+
+
+def ctr_batches(count, batch_size=16, seed=0):
+    teacher = CtrTeacher(
+        CtrTaskConfig(num_tables=NUM_TABLES, batch_size=batch_size, seed=seed)
+    )
+    return [teacher.next_batch() for _ in range(count)]
+
+
+def snapshot_grads(net):
+    return [
+        None if p.grad is None else p.grad.copy() for p in net.parameters()
+    ]
+
+
+def train_trace(net, arch, batches, seed_grad=1.0):
+    """(losses, qualities, final params) over optimizer-updated steps."""
+    optimizer = Adam(net.parameters(), lr=1e-2)
+    losses, qualities = [], []
+    for batch in batches:
+        optimizer.zero_grad()
+        loss = net.loss(arch, batch.inputs, batch.labels)
+        loss.backward(np.asarray(seed_grad))
+        optimizer.step()
+        losses.append(loss.item())
+        qualities.append(net.quality(arch, batch.inputs, batch.labels))
+    return losses, qualities, [p.data.copy() for p in net.parameters()]
+
+
+class TestCompiledGraphPrimitives:
+    def test_replay_binds_fresh_inputs(self):
+        w = Tensor(np.array([[2.0], [3.0]]), requires_grad=True)
+        graph = compile_graph(
+            lambda bufs: Tensor(bufs["x"]) @ w, {"x": np.zeros((1, 2))}
+        )
+        out = graph.run({"x": np.array([[1.0, 1.0]])})
+        assert out.data.item() == 5.0
+        out = graph.run({"x": np.array([[2.0, 0.0]])})
+        assert out.data.item() == 4.0
+
+    def test_replay_sees_updated_weights(self):
+        w = Tensor(np.array([[1.0], [1.0]]), requires_grad=True)
+        graph = compile_graph(
+            lambda bufs: Tensor(bufs["x"]) @ w, {"x": np.ones((1, 2))}
+        )
+        assert graph.run({"x": np.ones((1, 2))}).data.item() == 2.0
+        w.data[:] = 10.0
+        assert graph.run({"x": np.ones((1, 2))}).data.item() == 20.0
+
+    def test_shape_mismatch_rejected(self):
+        graph = compile_graph(
+            lambda bufs: Tensor(bufs["x"]).sum(), {"x": np.zeros((2, 2))}
+        )
+        with pytest.raises(ValueError, match="shape"):
+            graph.run({"x": np.zeros((3, 2))})
+
+    def test_cached_backward_matches_eager(self):
+        x = np.array([[0.5, -1.5], [2.0, 0.25]])
+        targets = np.array([[1.0], [0.0]])
+
+        we = Tensor(np.array([[0.3], [-0.7]]), requires_grad=True)
+        mse(Tensor(x) @ we, targets).backward()
+
+        wt = Tensor(np.array([[0.3], [-0.7]]), requires_grad=True)
+        graph = compile_graph(
+            lambda bufs: mse(Tensor(bufs["x"]) @ wt, bufs["t"]),
+            {"x": x, "t": targets},
+        )
+        for _ in range(3):  # replays must not change the result
+            wt.zero_grad()
+            graph.run({"x": x, "t": targets}).backward()
+        np.testing.assert_array_equal(we.grad, wt.grad)
+
+    def test_gradient_buffers_reused_across_steps(self):
+        w = Tensor(np.ones((2, 1)), requires_grad=True)
+        graph = compile_graph(
+            lambda bufs: (Tensor(bufs["x"]) @ w).sum(), {"x": np.ones((3, 2))}
+        )
+        graph.run({"x": np.ones((3, 2))}).backward()
+        first_buf = w.grad
+        w.zero_grad()
+        graph.run({"x": 2 * np.ones((3, 2))}).backward()
+        assert w.grad is first_buf  # same preallocated array, new values
+        np.testing.assert_array_equal(w.grad, [[6.0], [6.0]])
+
+    def test_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(TAPE_ENV, "0")
+        assert not tape_enabled()
+        net = DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES))
+        arch = build_space().sample(np.random.default_rng(0))
+        batch = ctr_batches(1)[0]
+        net.loss(arch, batch.inputs, batch.labels)
+        assert net.tape_stats() == {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+
+
+class TestTapeCache:
+    def test_hit_miss_eviction_counters(self):
+        cache = TapeCache(capacity=2)
+        made = []
+
+        def factory(tag):
+            def build():
+                graph = compile_graph(
+                    lambda bufs: Tensor(bufs["x"]).sum(), {"x": np.zeros(1)}
+                )
+                made.append(tag)
+                return graph
+
+            return build
+
+        cache.get_or_build("a", factory("a"))
+        cache.get_or_build("a", factory("a2"))
+        cache.get_or_build("b", factory("b"))
+        cache.get_or_build("c", factory("c"))  # evicts "a"
+        cache.get_or_build("a", factory("a3"))  # rebuild
+        assert made == ["a", "b", "c", "a3"]
+        assert cache.stats() == {"hits": 1, "misses": 4, "evictions": 2, "size": 2}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TapeCache(capacity=0)
+
+
+class TestSupernetTapeEquivalence:
+    def test_dlrm_train_trace_bit_identical(self, monkeypatch):
+        space = build_space()
+        rng = np.random.default_rng(7)
+        archs = [space.sample(rng) for _ in range(3)]
+        batches = ctr_batches(9)
+
+        monkeypatch.setenv(TAPE_ENV, "0")
+        eager_net = DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES))
+        eager = [
+            train_trace(eager_net, arch, batches[i::3], seed_grad=0.25)
+            for i, arch in enumerate(archs)
+        ]
+
+        monkeypatch.setenv(TAPE_ENV, "1")
+        tape_net = DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES))
+        taped = [
+            train_trace(tape_net, arch, batches[i::3], seed_grad=0.25)
+            for i, arch in enumerate(archs)
+        ]
+
+        stats = tape_net.tape_stats()
+        assert stats["misses"] == 6  # one loss + one forward graph per arch
+        assert stats["hits"] > 0
+        for (el, eq, ep), (tl, tq, tp) in zip(eager, taped):
+            assert el == tl
+            assert eq == tq
+            for a, b in zip(ep, tp):
+                np.testing.assert_array_equal(a, b)
+
+    def test_vision_train_trace_bit_identical(self, monkeypatch):
+        space = cnn_search_space(CnnSpaceConfig(num_blocks=2))
+        arch = space.sample(np.random.default_rng(3))
+        rng = np.random.default_rng(11)
+        batches = [
+            (
+                {"x": rng.normal(size=(8, 16))},
+                rng.integers(0, 4, size=8),
+            )
+            for _ in range(6)
+        ]
+
+        def run(net):
+            optimizer = Adam(net.parameters(), lr=1e-2)
+            losses = []
+            for inputs, labels in batches:
+                optimizer.zero_grad()
+                loss = net.loss(arch, inputs, labels)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+                losses.append(net.quality(arch, inputs, labels))
+            return losses, [p.data.copy() for p in net.parameters()]
+
+        monkeypatch.setenv(TAPE_ENV, "0")
+        eager_vals, eager_params = run(VisionSuperNetwork())
+        monkeypatch.setenv(TAPE_ENV, "1")
+        tape_net = VisionSuperNetwork()
+        tape_vals, tape_params = run(tape_net)
+
+        assert tape_net.tape_stats()["hits"] > 0
+        assert eager_vals == tape_vals
+        for a, b in zip(eager_params, tape_params):
+            np.testing.assert_array_equal(a, b)
+
+    def test_loss_many_unequal_sizes_bypasses_tape(self):
+        space = build_space()
+        arch = space.sample(np.random.default_rng(1))
+        net = DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES))
+        small = ctr_batches(1, batch_size=8)[0]
+        large = ctr_batches(1, batch_size=16, seed=5)[0]
+
+        combined = net.loss_many(
+            arch,
+            [small.inputs, large.inputs],
+            [small.labels, large.labels],
+        )
+        loss_a = net._loss_uncompiled(arch, small.inputs, small.labels)
+        loss_b = net._loss_uncompiled(arch, large.inputs, large.labels)
+        # stack_mean's left-fold matches the old (a + b) * 0.5 chain.
+        expected = (loss_a + loss_b) * 0.5
+        assert combined.item() == expected.item()
+        # And the per-batch losses are independent nodes, not two views
+        # of one compiled graph output.
+        net.zero_grad()
+        combined.backward()
+        assert any(p.grad is not None for p in net.parameters())
+
+    def test_loss_many_equal_sizes_uses_compiled_stacked_pass(self):
+        space = build_space()
+        arch = space.sample(np.random.default_rng(1))
+        net = DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES))
+        b1, b2 = ctr_batches(2)
+        net.loss_many(arch, [b1.inputs, b2.inputs], [b1.labels, b2.labels])
+        net.loss_many(arch, [b1.inputs, b2.inputs], [b2.labels, b1.labels])
+        stats = net.tape_stats()
+        assert stats == {"hits": 1, "misses": 1, "evictions": 0, "size": 1}
+
+    def test_quality_many_slices_match_per_batch(self):
+        space = build_space()
+        arch = space.sample(np.random.default_rng(2))
+        net = DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES))
+        batches = ctr_batches(3)
+        stacked = net.quality_many(
+            arch,
+            [b.inputs for b in batches],
+            [b.labels for b in batches],
+        )
+        singles = [net.quality(arch, b.inputs, b.labels) for b in batches]
+        assert stacked == singles
+
+
+def capacity_cost(arch):
+    cost = 1.0
+    for t in range(NUM_TABLES):
+        cost += 0.05 * arch[f"emb{t}/width_delta"]
+    return {"step_time": max(0.1, cost)}
+
+
+def build_search(backend, seed=0):
+    teacher = CtrTeacher(
+        CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed)
+    )
+    return SingleStepSearch(
+        space=build_space(),
+        supernet=DlrmSuperNetwork(
+            DlrmSupernetConfig(num_tables=NUM_TABLES, seed=seed)
+        ),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+        performance_fn=capacity_cost,
+        config=SearchConfig(
+            steps=6, num_cores=4, warmup_steps=2, seed=seed, backend=backend
+        ),
+    )
+
+
+def result_fingerprint(result):
+    return (
+        [s.mean_reward for s in result.history],
+        [s.mean_quality for s in result.history],
+        [s.policy_entropy for s in result.history],
+        result.final_architecture,
+    )
+
+
+class TestSearchLevelEquivalence:
+    def test_tape_vs_eager_search_identical(self, monkeypatch):
+        monkeypatch.setenv(TAPE_ENV, "0")
+        eager = result_fingerprint(build_search("serial").run())
+        monkeypatch.setenv(TAPE_ENV, "1")
+        search = build_search("serial")
+        taped = result_fingerprint(search.run())
+        assert eager == taped
+        # A short search samples mostly-unique architectures; what must
+        # hold is that the compiled path was exercised at all.
+        assert search.supernet.tape_stats()["misses"] > 0
+
+    def test_serial_vs_threads_with_tape(self):
+        assert tape_enabled()
+        serial = result_fingerprint(build_search("serial").run())
+        threaded = result_fingerprint(build_search("threads").run())
+        assert serial == threaded
+
+
+class TestScheduledOptimizerInEngine:
+    def test_state_dict_round_trip(self):
+        params = [Tensor(np.ones(3), requires_grad=True)]
+        sched = ScheduledOptimizer(
+            Adam(params, lr=0.1),
+            CosineSchedule(total_steps=10, warmup_steps=2),
+        )
+        for _ in range(4):
+            params[0].grad = np.ones(3)
+            sched.step()
+        state = sched.state_dict()
+
+        fresh_params = [Tensor(np.ones(3), requires_grad=True)]
+        fresh = ScheduledOptimizer(
+            Adam(fresh_params, lr=0.1),
+            CosineSchedule(total_steps=10, warmup_steps=2),
+        )
+        fresh.load_state_dict(state)
+        assert fresh._step == 4
+        assert fresh.current_lr == sched.current_lr
+        assert fresh.optimizer._t == sched.optimizer._t
+
+    def test_search_with_weight_schedule_checkpoints_schedule_position(self):
+        schedule = CosineSchedule(total_steps=20, warmup_steps=4)
+        teacher = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16))
+        search = SingleStepSearch(
+            space=build_space(),
+            supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES)),
+            pipeline=SingleStepPipeline(teacher.next_batch),
+            reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+            performance_fn=capacity_cost,
+            config=SearchConfig(
+                steps=4, num_cores=2, warmup_steps=1, weight_schedule=schedule
+            ),
+        )
+        for step in range(3):
+            search.step(step)
+        state = search.state_dict()
+        assert state["optimizer"]["step"] == search._optimizer._step > 0
+
+        teacher2 = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16))
+        resumed = SingleStepSearch(
+            space=build_space(),
+            supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES)),
+            pipeline=SingleStepPipeline(teacher2.next_batch),
+            reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+            performance_fn=capacity_cost,
+            config=SearchConfig(
+                steps=4, num_cores=2, warmup_steps=1, weight_schedule=schedule
+            ),
+        )
+        resumed.load_state_dict(state)
+        assert resumed._optimizer._step == search._optimizer._step
+        assert resumed._optimizer.current_lr == search._optimizer.current_lr
+        a = search.step(3)
+        b = resumed.step(3)
+        assert (a.mean_reward, a.mean_quality) == (b.mean_reward, b.mean_quality)
+
+
+class TestPerformanceModelTape:
+    def test_training_loss_compiled_and_identical(self, monkeypatch):
+        from repro.perfmodel.features import ArchitectureEncoder
+        from repro.perfmodel.model import PerformanceModel
+
+        space = build_space()
+        encoder = ArchitectureEncoder(space)
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(12, encoder.num_features))
+        targets = rng.normal(size=(12, 2))
+
+        def losses(model):
+            out = []
+            optimizer = Adam(model.parameters(), lr=1e-3)
+            for start in (0, 4, 8):
+                optimizer.zero_grad()
+                loss = model.training_loss(
+                    features[start : start + 4], targets[start : start + 4]
+                )
+                loss.backward()
+                optimizer.step()
+                out.append(loss.item())
+            return out
+
+        monkeypatch.setenv(TAPE_ENV, "0")
+        eager = losses(PerformanceModel(encoder, hidden_sizes=(16,)))
+        monkeypatch.setenv(TAPE_ENV, "1")
+        model = PerformanceModel(encoder, hidden_sizes=(16,))
+        taped = losses(model)
+        assert eager == taped
+        assert model.tape_stats()["hits"] == 2
