@@ -1,18 +1,22 @@
-"""Serial vs. thread-pool execution backends on latency-bound shards.
+"""Execution-backend benchmarks: latency-bound threads, CPU-bound processes.
 
 At hyperscale the per-candidate work inside a search step is dominated
-by waiting on something other than the host interpreter: a supernet
-forward on an attached accelerator, a cost-model service round-trip, a
-device-table lookup.  The thread-pool backend exists to overlap those
-waits across the shard's candidates.  This benchmark replays a
-single-step search whose scoring and pricing carry a small synthetic
-device latency per candidate and measures end-to-end step wall-clock on
-``SerialBackend`` vs. ``ThreadPoolBackend`` — asserting the threaded
-run is >= 1.5x faster *and* bit-identical in its search trajectory.
+by one of two things.  When it's *waiting* — a supernet forward on an
+attached accelerator, a cost-model service round-trip — the thread-pool
+backend overlaps the waits and the GIL never matters; the first
+benchmark replays a single-step search with synthetic device latency
+and asserts ``ThreadPoolBackend`` is >= 1.5x faster than serial.  When
+it's *host compute* — pure-Python scoring holding the GIL — threads
+serialize and only the process-pool backend scales with cores; the
+second benchmark replays a CPU-bound search and asserts
+``ProcessPoolBackend`` is >= 2x faster than serial at 4 workers (and
+that threads, run for contrast, are capped).  Both assert bit-identical
+search trajectories: parallelism changes wall-clock, never numerics.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -21,6 +25,7 @@ import pytest
 from repro.analysis import format_table
 from repro.core import (
     PerformanceObjective,
+    ProcessPoolBackend,
     SearchConfig,
     SingleStepSearch,
     SurrogateSuperNetwork,
@@ -40,6 +45,11 @@ CORES = 8
 WORKERS = 4
 SCORE_LATENCY = 2e-3  # one supernet forward on the attached device
 PRICE_LATENCY = 1e-3  # one cost-model service round-trip
+
+PROCESS_STEPS = 12
+#: pure-Python loop iterations per candidate score — ~2-3 ms of
+#: GIL-holding host compute, the regime threads cannot parallelize
+SCORE_SPIN = 120_000
 
 
 class LatencyBoundSupernet(SurrogateSuperNetwork):
@@ -149,3 +159,136 @@ def test_backends(benchmark):
     # Acceptance: >= 1.5x step wall-clock from overlapping the shard's
     # per-candidate device waits across workers.
     assert payload["speedup"] >= 1.5, f"speedup only {payload['speedup']:.2f}x"
+
+
+# ----------------------------------------------------------------------
+# CPU-bound scoring: the process backend's regime
+# ----------------------------------------------------------------------
+def _cpu_quality(arch):
+    return 1.0 - 0.01 * arch["emb0/width_delta"]
+
+
+def _flat_cost(arch):
+    cost = 1.0
+    for t in range(NUM_TABLES):
+        cost += 0.05 * arch[f"emb{t}/width_delta"]
+    return {"step_time": max(0.1, cost)}
+
+
+class CpuBoundSupernet(SurrogateSuperNetwork):
+    """Surrogate whose per-candidate scoring burns host CPU under the GIL.
+
+    Module-level (and built on a module-level quality fn) so the whole
+    object pickles — process workers rehydrate it from the spec blob.
+    """
+
+    def _quality_split(self, arch, inputs, labels, rng):
+        acc = 0.0
+        for i in range(SCORE_SPIN):
+            acc += i & 7
+        # acc folds in at weight zero: identical scores, real work.
+        return super()._quality_split(arch, inputs, labels, rng) + 0.0 * acc
+
+
+def build_cpu_search(backend, steps=PROCESS_STEPS, cores=CORES, seed=0):
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2)
+    )
+    teacher = CtrTeacher(
+        CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed)
+    )
+    return SingleStepSearch(
+        space=space,
+        supernet=CpuBoundSupernet(
+            _cpu_quality, noise_sigma=0.05, seed=seed, split_noise=True
+        ),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+        performance_fn=_flat_cost,
+        config=SearchConfig(
+            steps=steps,
+            num_cores=cores,
+            warmup_steps=2,
+            record_candidates=False,
+            seed=seed,
+            backend=backend,
+        ),
+    )
+
+
+def _timed_cpu_run(backend, steps, cores):
+    search = build_cpu_search(backend, steps=steps, cores=cores)
+    started = time.perf_counter()
+    result = search.run()
+    return result, time.perf_counter() - started
+
+
+def run_processes(steps=PROCESS_STEPS, cores=CORES, workers=WORKERS):
+    serial_result, serial_seconds = _timed_cpu_run("serial", steps, cores)
+    threaded_result, threaded_seconds = _timed_cpu_run(
+        ThreadPoolBackend(workers=workers), steps, cores
+    )
+    process_backend = ProcessPoolBackend(workers=workers)
+    process_result, process_seconds = _timed_cpu_run(
+        process_backend, steps, cores
+    )
+
+    for other in (threaded_result, process_result):
+        np.testing.assert_array_equal(serial_result.rewards(), other.rewards())
+        np.testing.assert_array_equal(
+            serial_result.entropies(), other.entropies()
+        )
+
+    payload = {
+        "steps": steps,
+        "cores": cores,
+        "workers": workers,
+        "score_spin": SCORE_SPIN,
+        "host_cpus": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "threaded_seconds": threaded_seconds,
+        "process_seconds": process_seconds,
+        "serial_step_ms": 1e3 * serial_seconds / steps,
+        "process_step_ms": 1e3 * process_seconds / steps,
+        "threads_speedup": serial_seconds / max(threaded_seconds, 1e-12),
+        "speedup": serial_seconds / max(process_seconds, 1e-12),
+        "trajectories_identical": True,
+    }
+    table = format_table(
+        ["backend", "total (s)", "per step (ms)", "speedup"],
+        [
+            [
+                "serial",
+                f"{serial_seconds:.2f}",
+                f"{payload['serial_step_ms']:.1f}",
+                "1.0x",
+            ],
+            [
+                f"threads x{workers}",
+                f"{threaded_seconds:.2f}",
+                f"{1e3 * threaded_seconds / steps:.1f}",
+                f"{payload['threads_speedup']:.1f}x",
+            ],
+            [
+                f"processes x{workers}",
+                f"{process_seconds:.2f}",
+                f"{payload['process_step_ms']:.1f}",
+                f"{payload['speedup']:.1f}x",
+            ],
+        ],
+    )
+    emit("backends_processes", table)
+    emit_json("backends_processes", payload)
+    return payload
+
+
+def test_process_backend(benchmark):
+    if (os.cpu_count() or 1) < WORKERS:
+        pytest.skip(
+            f"CPU-bound speedup contract needs >= {WORKERS} host cores, "
+            f"have {os.cpu_count()}"
+        )
+    payload = benchmark.pedantic(run_processes, rounds=1, iterations=1)
+    # Acceptance: >= 2x step wall-clock at 4 workers on GIL-holding
+    # scoring shards — the work threads cannot parallelize.
+    assert payload["speedup"] >= 2.0, f"speedup only {payload['speedup']:.2f}x"

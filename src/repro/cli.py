@@ -26,6 +26,7 @@ import numpy as np
 
 from .analysis import format_report, format_table
 from .core import H2ONas, NasCostModel, PerformanceObjective, SearchConfig
+from .core.engine import BACKEND_NAMES
 from .data import CtrTaskConfig, CtrTeacher
 from .hardware import PLATFORMS, platform, simulate
 from .models import MbconvSpec, single_block_graph
@@ -370,17 +371,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--backend",
-            choices=["serial", "threads"],
+            choices=list(BACKEND_NAMES),
             default=None,
             help="execution backend for per-core shard work "
             "(default: $REPRO_BACKEND, then serial); all backends "
-            "produce bit-identical results",
+            "produce bit-identical results — processes runs GIL-free "
+            "across cores with supernet weights in shared memory",
         )
         p.add_argument(
             "--workers",
             type=int,
             default=None,
-            help="worker count for --backend threads "
+            help="worker count for --backend threads/processes "
             "(default: $REPRO_WORKERS, then min(4, cpu cores))",
         )
 

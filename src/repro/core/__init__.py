@@ -4,11 +4,13 @@ from .controller import BaselineTracker, CategoricalPolicy, ReinforceController
 from .cost import NasCostModel
 from .engine import (
     ExecutionBackend,
+    ProcessPoolBackend,
     ResumableLoop,
     SearchEngine,
     SerialBackend,
     ThreadPoolBackend,
     resolve_backend,
+    shutdown_pools,
 )
 from .eval_runtime import (
     ArchMetricsCache,
@@ -68,12 +70,14 @@ __all__ = [
     "EvalRuntimeStats",
     "ExecutionBackend",
     "MemoizedEvaluate",
+    "ProcessPoolBackend",
     "ResumableLoop",
     "SearchEngine",
     "SerialBackend",
     "ThreadPoolBackend",
     "arch_key",
     "resolve_backend",
+    "shutdown_pools",
     "group_unique_architectures",
     "EvolutionConfig",
     "EvolutionarySearch",

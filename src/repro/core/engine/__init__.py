@@ -8,13 +8,23 @@ contract.
 from .backends import (
     BACKEND_ENV_VAR,
     BACKEND_NAMES,
+    MP_CONTEXT_ENV_VAR,
     WORKERS_ENV_VAR,
     BackendSpec,
     ExecutionBackend,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     default_worker_count,
+    process_start_method,
     resolve_backend,
+    shutdown_pools,
+)
+from .worker import (
+    RemoteContextRef,
+    StageTask,
+    in_worker,
+    run_stage_task,
 )
 from .engine import (
     CandidateRecord,
@@ -32,21 +42,29 @@ from .loop import ResumableLoop
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
+    "MP_CONTEXT_ENV_VAR",
     "WORKERS_ENV_VAR",
     "BackendSpec",
     "CandidateRecord",
     "DrawnCandidate",
     "ExecutionBackend",
     "PerformanceFn",
+    "ProcessPoolBackend",
+    "RemoteContextRef",
     "ResumableLoop",
     "SearchConfig",
     "SearchEngine",
     "SearchResult",
     "SerialBackend",
+    "StageTask",
     "StepRecord",
     "SuperNetwork",
     "ThreadPoolBackend",
     "default_worker_count",
     "group_unique_architectures",
+    "in_worker",
+    "process_start_method",
     "resolve_backend",
+    "run_stage_task",
+    "shutdown_pools",
 ]

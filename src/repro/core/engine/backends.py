@@ -11,43 +11,65 @@ tasks, and this module supplies the things that map runs on:
   other on the calling thread.  The semantics every other backend must
   reproduce bit-for-bit.
 * :class:`ThreadPoolBackend` — fans tasks out across a shared worker
-  pool.  Order-preserving reduction (results come back in task order,
-  never completion order) plus deterministic rng-stream splitting make
-  its results bit-identical to the serial backend: parallelism changes
-  wall-clock, never numerics.
+  pool.  Cheap (no serialization) but the GIL caps it on CPU-bound
+  scoring; best when tasks are latency-bound or release the GIL in
+  NumPy kernels.
+* :class:`ProcessPoolBackend` — fans *picklable* tasks out across
+  worker processes: true multi-core execution for the compute-dominated
+  scoring path.  Supernet weights travel through one shared-memory
+  segment (see :mod:`.shm` / :mod:`.worker`), not through task pickles,
+  and a killed worker's map is resubmitted (bounded retries) without
+  restarting the step.
 
 **Determinism contract.**  A backend may only be handed tasks whose
 outputs are independent of scheduling: pure functions of their inputs,
 or functions whose randomness comes from :meth:`rng_streams`.  Streams
-are split per *task* (not per worker thread) from a counter-stamped
+are split per *task* (not per worker) from a counter-stamped
 :class:`numpy.random.SeedSequence`, so task ``i`` of split ``k`` draws
-the same stream no matter how many workers exist or which thread runs
-it.  The split counter is part of :meth:`state_dict`, rides in search
-checkpoints, and restores on resume — crash-resumed runs replay the
-same streams an uninterrupted run would have drawn.
+the same stream no matter how many workers exist or which thread or
+process runs it.  The split counter is part of :meth:`state_dict`,
+rides in search checkpoints, and restores on resume — crash-resumed
+runs replay the same streams an uninterrupted run would have drawn.
+Order-preserving reduction (results come back in task order, never
+completion order) closes the contract: parallelism changes wall-clock,
+never numerics.
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
+import pickle
 import threading
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, TypeVar, Union
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
+
+from .worker import build_remote_context, initialize_worker
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Environment variables consulted when a search does not pin a backend
 #: explicitly — the CI matrix runs the whole test suite under
-#: ``REPRO_BACKEND=threads`` to prove backend equivalence at scale.
+#: ``REPRO_BACKEND=threads`` / ``REPRO_BACKEND=processes`` to prove
+#: backend equivalence at scale.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+#: Start-method override for the process backend (``fork`` / ``spawn``
+#: / ``forkserver``).  Defaults to ``fork`` where the platform offers
+#: it: workers inherit the imported modules instead of re-importing
+#: them, which keeps pool startup in the milliseconds.
+MP_CONTEXT_ENV_VAR = "REPRO_MP_CONTEXT"
 
-#: Spec names accepted by :func:`resolve_backend`.
-BACKEND_NAMES = ("serial", "threads")
+
+def default_worker_count() -> int:
+    """Worker count when none is requested: min(4, available cores)."""
+    return max(1, min(4, os.cpu_count() or 1))
 
 
 class ExecutionBackend(ABC):
@@ -55,6 +77,10 @@ class ExecutionBackend(ABC):
 
     #: short name used in CLI flags, telemetry labels, and snapshots
     name: str = "abstract"
+    #: whether this backend runs tasks in other *processes* — the engine
+    #: routes stage work through serializable task payloads instead of
+    #: closures when this is set
+    remote: bool = False
 
     def __init__(self, seed: int = 0, workers: int = 1):
         if workers < 1:
@@ -111,7 +137,7 @@ class ExecutionBackend(ABC):
         self._rng_spawns = int(state["rng_spawns"])
 
     def close(self) -> None:
-        """Release any pooled resources (no-op for shared pools)."""
+        """Release resources this backend *owns* (shared pools stay up)."""
 
 
 class SerialBackend(ExecutionBackend):
@@ -130,55 +156,304 @@ class SerialBackend(ExecutionBackend):
         return [fn(item) for item in items]
 
 
-# Worker pools are shared per worker-count across backend instances:
-# tests and sweeps construct hundreds of short-lived searches, and
-# spinning an executor up and down for each would dominate their cost.
-_POOLS: Dict[int, ThreadPoolExecutor] = {}
+# ----------------------------------------------------------------------
+# Executor-pool registry
+# ----------------------------------------------------------------------
+# Worker pools are shared per (kind, configuration) across backend
+# instances: tests and sweeps construct hundreds of short-lived
+# searches, and spinning an executor up and down for each would
+# dominate their cost.  Shared pools live until `shutdown_pools()` —
+# registered with atexit so interpreter exit reaps them — while pools a
+# backend was asked to own (``shared=False``) are released by that
+# backend's `close()`.
+_POOLS: Dict[Tuple[Any, ...], Executor] = {}
 _POOLS_LOCK = threading.Lock()
 
 
-def _shared_pool(workers: int) -> ThreadPoolExecutor:
+def _shared_pool(key: Tuple[Any, ...], factory: Callable[[], Executor]) -> Executor:
     with _POOLS_LOCK:
-        pool = _POOLS.get(workers)
+        pool = _POOLS.get(key)
         if pool is None:
-            pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix=f"repro-engine-{workers}"
-            )
-            _POOLS[workers] = pool
+            pool = _POOLS[key] = factory()
         return pool
 
 
-def default_worker_count() -> int:
-    """Worker count when none is requested: min(4, available cores)."""
-    return max(1, min(4, os.cpu_count() or 1))
+def _discard_shared_pool(key: Tuple[Any, ...], pool: Executor) -> None:
+    """Drop ``pool`` from the registry (it broke or is being replaced)."""
+    with _POOLS_LOCK:
+        if _POOLS.get(key) is pool:
+            del _POOLS[key]
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Shut down every shared executor pool.
+
+    Called automatically at interpreter exit; call it explicitly to
+    reclaim workers mid-process (the next backend ``map`` transparently
+    builds fresh pools).
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_pools)
+
+
+def _thread_pool_factory(workers: int) -> Callable[[], Executor]:
+    def factory() -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"repro-engine-{workers}"
+        )
+
+    return factory
+
+
+def process_start_method() -> str:
+    """The start method process pools use (``$REPRO_MP_CONTEXT`` wins)."""
+    override = os.environ.get(MP_CONTEXT_ENV_VAR)
+    if override:
+        return override
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+def _process_pool_factory(workers: int, method: str) -> Callable[[], Executor]:
+    def factory() -> Executor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(method),
+            initializer=initialize_worker,
+        )
+
+    return factory
 
 
 class ThreadPoolBackend(ExecutionBackend):
-    """Fan tasks out across a shared thread pool, gathering in order.
+    """Fan tasks out across a thread pool, gathering in order.
 
     NumPy releases the GIL inside its kernels and candidate pricing is
     frequently latency- rather than compute-bound (simulator calls,
     testbed measurements), so threads buy real step-time parallelism
-    without the serialization cost a process pool would add for
-    shard-sized payloads.  ``Executor.map`` yields results in submission
-    order, which is what keeps reductions (and therefore policy and
-    weight updates) bit-identical to :class:`SerialBackend`.
+    without the serialization cost a process pool adds for shard-sized
+    payloads.  ``Executor.map`` yields results in submission order,
+    which is what keeps reductions (and therefore policy and weight
+    updates) bit-identical to :class:`SerialBackend`.
     """
 
     name = "threads"
 
-    def __init__(self, workers: Optional[int] = None, seed: int = 0):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        seed: int = 0,
+        shared: bool = True,
+    ):
         super().__init__(
             seed=seed,
             workers=workers if workers is not None else default_worker_count(),
         )
+        self._shared = shared
+        self._owned_pool: Optional[Executor] = None
+
+    def _pool(self) -> Executor:
+        if self._shared:
+            return _shared_pool(
+                ("threads", self.workers), _thread_pool_factory(self.workers)
+            )
+        if self._owned_pool is None:
+            self._owned_pool = _thread_pool_factory(self.workers)()
+        return self._owned_pool
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         items = list(items)
         if len(items) <= 1 or self.workers == 1:
             return [fn(item) for item in items]
-        return list(_shared_pool(self.workers).map(fn, items))
+        return list(self._pool().map(fn, items))
 
+    def close(self) -> None:
+        if self._owned_pool is not None:
+            self._owned_pool.shutdown(wait=True)
+            self._owned_pool = None
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan picklable tasks out across worker *processes*.
+
+    This is the GIL-free leg: CPU-bound scoring shards scale with the
+    machine's cores.  What makes it practical:
+
+    * **tasks are data, not closures** — the engine sends
+      :class:`~.worker.StageTask` payloads that a worker executes
+      against a supernet it rehydrated once (see
+      :meth:`register_context`), so per-task pickles carry batch arrays
+      only;
+    * **weights travel through shared memory** — one versioned segment
+      the engine republishes after each cross-shard weight update;
+      workers copy-in at most once per version;
+    * **functions that cannot travel run locally** — ``map`` probes the
+      function (and a representative item) for picklability and quietly
+      degrades to the in-process serial loop, which is always correct;
+    * **worker loss is survivable** — a killed worker breaks the pool's
+      current map; the backend discards the broken pool, builds a fresh
+      one, and resubmits the whole map.  Tasks are pure by the
+      determinism contract, so resubmission is idempotent and the
+      retried results are bit-identical.  Retries are bounded; on
+      exhaustion a retryable
+      :class:`~repro.runtime.errors.WorkerCrashError` surfaces so the
+      supervisor can restart the step from its snapshot.
+    """
+
+    name = "processes"
+    remote = True
+
+    #: how many times one ``map`` survives a broken pool before raising
+    max_map_retries = 2
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        seed: int = 0,
+        shared: bool = True,
+        start_method: Optional[str] = None,
+    ):
+        super().__init__(
+            seed=seed,
+            workers=workers if workers is not None else default_worker_count(),
+        )
+        self._shared = shared
+        self._method = start_method or process_start_method()
+        self._owned_pool: Optional[Executor] = None
+        self._context: Optional[Any] = None
+        #: workers lost (pool breaks) over this backend's lifetime; the
+        #: engine mirrors deltas into the ``supervisor.worker_losses``
+        #: churn counter
+        self.worker_losses = 0
+
+    # -- pool lifecycle -------------------------------------------------
+    def _pool_key(self) -> Tuple[Any, ...]:
+        return ("processes", self.workers, self._method)
+
+    def _pool(self) -> Executor:
+        if self._shared:
+            return _shared_pool(
+                self._pool_key(), _process_pool_factory(self.workers, self._method)
+            )
+        if self._owned_pool is None:
+            self._owned_pool = _process_pool_factory(self.workers, self._method)()
+        return self._owned_pool
+
+    def _discard_pool(self, pool: Executor) -> None:
+        if self._shared:
+            _discard_shared_pool(self._pool_key(), pool)
+        elif self._owned_pool is pool:
+            self._owned_pool = None
+        pool.shutdown(wait=True)
+
+    # -- supernet context ----------------------------------------------
+    def register_context(self, supernet: Any) -> Optional[Any]:
+        """Publish ``supernet`` to workers via shared memory.
+
+        Returns the :class:`~.worker.RemoteShardContext` handle (the
+        engine drives `publish()` / `ref()` through it), or ``None``
+        when the supernet cannot travel — unpicklable spec, parameter
+        mismatch on rebuild, non-float64 parameters, or a single-worker
+        pool where remote execution buys nothing.  ``None`` keeps every
+        stage on the in-process path.
+        """
+        if self.workers <= 1:
+            return None
+        if self._context is not None:
+            self._context.release()
+        self._context = build_remote_context(supernet)
+        return self._context
+
+    # -- execution ------------------------------------------------------
+    def _can_ship(self, fn: Callable, items: Sequence) -> bool:
+        try:
+            pickle.dumps(fn)
+            if items:
+                pickle.dumps(items[0])
+            return True
+        except Exception:
+            return False
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1 or not self._can_ship(fn, items):
+            return [fn(item) for item in items]
+        attempts = 0
+        while True:
+            pool = self._pool()
+            try:
+                return list(pool.map(fn, items))
+            except BrokenProcessPool:
+                # A worker died mid-map (OOM-kill, SIGKILL, hard crash).
+                # The pool is unusable from here on; replace it and
+                # resubmit the whole map — tasks are pure, so the retry
+                # recomputes identical results.
+                self.worker_losses += 1
+                self._discard_pool(pool)
+                attempts += 1
+                if attempts > self.max_map_retries:
+                    from ...runtime.errors import WorkerCrashError
+
+                    raise WorkerCrashError(
+                        f"process pool broke {attempts} times while mapping "
+                        f"{len(items)} tasks; giving up after "
+                        f"{self.max_map_retries} resubmissions"
+                    )
+
+    # -- checkpoint state ----------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["weights_version"] = (
+            int(self._context.version) if self._context is not None else 0
+        )
+        return state
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        super().load_state_dict(state)
+        if self._context is not None:
+            # Republish past the checkpointed version: the restored
+            # parameter values reach the segment, and surviving workers
+            # whose applied version predates the crash still refresh.
+            self._context.fast_forward(int(state.get("weights_version", 0)))
+
+    def close(self) -> None:
+        if self._context is not None:
+            self._context.release()
+            self._context = None
+        if self._owned_pool is not None:
+            self._owned_pool.shutdown(wait=True)
+            self._owned_pool = None
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[Optional[int], int], ExecutionBackend]] = {
+    "serial": lambda workers, seed: SerialBackend(seed=seed),
+    "threads": lambda workers, seed: ThreadPoolBackend(workers=workers, seed=seed),
+    "processes": lambda workers, seed: ProcessPoolBackend(workers=workers, seed=seed),
+}
+
+_ALIASES: Dict[str, str] = {
+    "thread": "threads",
+    "threadpool": "threads",
+    "process": "processes",
+    "procs": "processes",
+    "processpool": "processes",
+    "mp": "processes",
+}
+
+#: Spec names accepted by :func:`resolve_backend` — derived from the
+#: registry, so a new backend shows up everywhere (CLI choices, error
+#: messages) by registration alone.
+BACKEND_NAMES = tuple(_REGISTRY)
 
 BackendSpec = Union[None, str, ExecutionBackend]
 
@@ -191,23 +466,38 @@ def resolve_backend(
     """Build the execution backend a search asked for.
 
     ``spec`` may be an :class:`ExecutionBackend` instance (returned as
-    is), a name from :data:`BACKEND_NAMES`, or ``None`` — in which case
-    the :envvar:`REPRO_BACKEND` environment variable decides, defaulting
-    to serial.  ``workers`` falls back to :envvar:`REPRO_WORKERS`, then
-    to :func:`default_worker_count`.
+    is), a name from :data:`BACKEND_NAMES` (or an alias), or ``None`` —
+    in which case the :envvar:`REPRO_BACKEND` environment variable
+    decides, defaulting to serial.  ``workers`` falls back to
+    :envvar:`REPRO_WORKERS`, then to :func:`default_worker_count`.
+    Errors name the source of the bad value — a misspelled environment
+    variable should say so, not stack-trace as a bare ``ValueError``.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
+    source = "backend spec"
     if spec is None:
-        spec = os.environ.get(BACKEND_ENV_VAR) or "serial"
+        env_spec = os.environ.get(BACKEND_ENV_VAR)
+        if env_spec:
+            spec = env_spec
+            source = f"${BACKEND_ENV_VAR}"
+        else:
+            spec = "serial"
     if workers is None:
         env_workers = os.environ.get(WORKERS_ENV_VAR)
-        workers = int(env_workers) if env_workers else None
-    spec = str(spec).lower()
-    if spec == "serial":
-        return SerialBackend(seed=seed)
-    if spec in ("threads", "thread", "threadpool"):
-        return ThreadPoolBackend(workers=workers, seed=seed)
-    raise ValueError(
-        f"unknown execution backend {spec!r}; expected one of {BACKEND_NAMES}"
-    )
+        if env_workers:
+            try:
+                workers = int(env_workers)
+            except ValueError:
+                raise ValueError(
+                    f"${WORKERS_ENV_VAR} must be an integer worker count, "
+                    f"got {env_workers!r}"
+                ) from None
+    name = str(spec).lower()
+    factory = _REGISTRY.get(_ALIASES.get(name, name))
+    if factory is None:
+        raise ValueError(
+            f"unknown execution backend {spec!r} (from {source}); "
+            f"expected one of {BACKEND_NAMES}"
+        )
+    return factory(workers, seed)

@@ -41,6 +41,7 @@ crash-resumed run keeps its bit-identity guarantee.
 from __future__ import annotations
 
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
@@ -78,6 +79,14 @@ from ..eval_runtime import (
 )
 from ..reward import RewardFunction
 from .backends import BackendSpec, ExecutionBackend, resolve_backend
+from .worker import (
+    StageTask,
+    payload_nbytes,
+    quality_many_payloads,
+    quality_payloads,
+    quality_split_payloads,
+    run_stage_task,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from ...nn import Optimizer
@@ -185,8 +194,9 @@ class SearchConfig:
     group_unique: bool = True
     #: execution backend for per-core fan-out: an
     #: :class:`ExecutionBackend` instance, a name (``"serial"`` /
-    #: ``"threads"``), or ``None`` to consult ``$REPRO_BACKEND`` and
-    #: default to serial.  All backends are bit-identical by contract.
+    #: ``"threads"`` / ``"processes"``), or ``None`` to consult
+    #: ``$REPRO_BACKEND`` and default to serial.  All backends are
+    #: bit-identical by contract.
     backend: Optional[Union[str, ExecutionBackend]] = field(
         default=None, compare=False
     )
@@ -303,6 +313,20 @@ class SearchEngine:
             )
         self._warmup_rng = np.random.default_rng(config.seed + 1)
         self._tape_totals: Dict[str, int] = {}
+        self._worker_loss_total = 0
+        # Remote backends (process pools) score against a supernet each
+        # worker rehydrates from shared memory; publishing happens here,
+        # lazily, only when the weights actually changed since the last
+        # fan-out.  Backends that cannot host this supernet remotely
+        # return None and every stage stays on the in-process path.
+        self._remote_ctx = None
+        self._weights_dirty = False
+        register_context = getattr(self.backend, "register_context", None)
+        if register_context is not None:
+            ctx = register_context(supernet)
+            if ctx is not None:
+                self._remote_ctx = ctx
+                weakref.finalize(self, ctx.release)
 
     # ------------------------------------------------------------------
     # Stepwise driver protocol (checkpointed execution)
@@ -319,7 +343,27 @@ class SearchEngine:
             record = self._step(step)
         _record_step_telemetry(self.telemetry, record)
         self._record_tape_telemetry()
+        self._record_backend_telemetry()
         return record
+
+    def _record_backend_telemetry(self) -> None:
+        """Mirror the backend's worker-loss counter into telemetry.
+
+        Worker losses are real external events (a process died), not
+        replayable search state, so they land on the churn-scoped
+        ``supervisor.`` prefix — like restarts and testbed retries, they
+        must keep counting across a crash/resume rather than roll back
+        with the snapshot.
+        """
+        losses = getattr(self.backend, "worker_losses", None)
+        if losses is None:
+            return
+        delta = int(losses) - self._worker_loss_total
+        if delta > 0:
+            self.telemetry.counter("supervisor.worker_losses").inc(
+                delta, backend=self.backend.name
+            )
+        self._worker_loss_total = int(losses)
 
     def _record_tape_telemetry(self) -> None:
         """Mirror the supernet's tape-cache counters into telemetry.
@@ -389,6 +433,10 @@ class SearchEngine:
         backend_state = state.get("backend")
         if backend_state is not None:  # absent in pre-engine snapshots
             self.backend.load_state_dict(backend_state)
+        # The restored weights must reach workers before the next remote
+        # fan-out (the backend's own load may have fast-forwarded the
+        # shared segment already; one extra publish is cheap and safe).
+        self._weights_dirty = True
         telemetry_state = state.get("telemetry")
         if self.telemetry is not None and telemetry_state is not None:
             self.telemetry.import_state(telemetry_state)
@@ -432,6 +480,66 @@ class SearchEngine:
         return results
 
     # ------------------------------------------------------------------
+    # Remote (cross-process) fan-out
+    # ------------------------------------------------------------------
+    def _remote_active(self) -> bool:
+        """Whether score stages should ship tasks to worker processes.
+
+        Demands an exact identity match between the registered context's
+        supernet and the engine's current one: anything that swapped the
+        supernet after construction (fault-injection proxies, test
+        doubles) silently falls back to the in-process path, which
+        executes whatever object is live.
+        """
+        ctx = self._remote_ctx
+        return (
+            ctx is not None
+            and getattr(self.backend, "remote", False)
+            and ctx.supernet is self.supernet
+        )
+
+    def _sync_remote_weights(self) -> None:
+        if self._weights_dirty:
+            self._remote_ctx.publish()
+            self._weights_dirty = False
+
+    def _fan_out_tasks(
+        self, stage: str, kind: str, payloads: Sequence[Tuple[Any, ...]]
+    ) -> List[Any]:
+        """Ship closure-free stage tasks through the backend.
+
+        The current weights are published to the shared segment first
+        (if dirty), and every task carries the resulting version so no
+        worker scores against stale parameters.  Workers time themselves
+        and report their pid; accounting happens here on the engine
+        thread, including the pickled-batch IPC volume estimate.
+        """
+        self._sync_remote_weights()
+        ref = self._remote_ctx.ref()
+        tasks = [
+            StageTask(stage=stage, kind=kind, context=ref, payload=payload)
+            for payload in payloads
+        ]
+        results = self.backend.map(run_stage_task, tasks)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.counter("engine.tasks").inc(
+                len(tasks), stage=stage, backend=self.backend.name
+            )
+            telemetry.counter("engine.ipc.bytes").inc(
+                payload_nbytes(tasks), backend=self.backend.name
+            )
+            for _, seconds, pid in results:
+                telemetry.trace.record(
+                    "worker",
+                    seconds,
+                    stage=stage,
+                    backend=self.backend.name,
+                    pid=pid,
+                )
+        return [value for value, _, _ in results]
+
+    # ------------------------------------------------------------------
     # Stage primitives
     # ------------------------------------------------------------------
     def sample_shard(self, count: int, warming_up: bool) -> List[DrawnCandidate]:
@@ -470,6 +578,15 @@ class SearchEngine:
         quality_split = getattr(self.supernet, "quality_split", None)
         if quality_split is not None:
             streams = self.backend.rng_streams(len(drawn))
+            if self._remote_active():
+                return [
+                    float(v)
+                    for v in self._fan_out_tasks(
+                        STAGE_SCORE,
+                        "quality_split",
+                        quality_split_payloads(drawn, batches, streams),
+                    )
+                ]
             return [
                 float(v)
                 for v in self._fan_out(
@@ -485,6 +602,17 @@ class SearchEngine:
                 self.supernet.quality(arch, batch.inputs, batch.labels)
                 for batch, (arch, _) in zip(batches, drawn)
             ]
+        if self._remote_active():
+            per_group = self._fan_out_tasks(
+                STAGE_SCORE,
+                "quality_many",
+                quality_many_payloads(drawn, batches, groups),
+            )
+            qualities_remote: List[float] = [0.0] * len(drawn)
+            for positions, values in zip(groups, per_group):
+                for position, value in zip(positions, values):
+                    qualities_remote[position] = float(value)
+            return qualities_remote
         quality_many = self.supernet.quality_many
 
         def score_group(positions: List[int]) -> List[float]:
@@ -514,6 +642,17 @@ class SearchEngine:
         quality_split = getattr(self.supernet, "quality_split", None)
         if quality_split is not None:
             streams = self.backend.rng_streams(len(drawn))
+            if self._remote_active():
+                return [
+                    float(v)
+                    for v in self._fan_out_tasks(
+                        STAGE_SCORE,
+                        "quality_split",
+                        quality_split_payloads(
+                            drawn, [batch] * len(drawn), streams
+                        ),
+                    )
+                ]
             return [
                 float(v)
                 for v in self._fan_out(
@@ -525,6 +664,13 @@ class SearchEngine:
                 )
             ]
         if isinstance(self.supernet, StackedScoring):
+            if self._remote_active():
+                return [
+                    float(v)
+                    for v in self._fan_out_tasks(
+                        STAGE_SCORE, "quality", quality_payloads(drawn, batch)
+                    )
+                ]
             quality = self.supernet.quality
             return self._fan_out(
                 STAGE_SCORE,
@@ -621,12 +767,23 @@ class SearchEngine:
         ):
             loss.backward(np.asarray(scale))
 
+    def optimizer_step(self) -> None:
+        """Apply the accumulated weight gradients.
+
+        Every weight update must come through here: the dirty flag is
+        what tells the remote fan-out path to republish the shared
+        weights segment before the next shard is scored in worker
+        processes.
+        """
+        self._optimizer.step()
+        self._weights_dirty = True
+
     def train_weights_on(self, arch: Architecture, batch: Batch) -> None:
         """Stage *weight_update*, single-candidate variant (TuNAS train
         split): one forward/backward plus an optimizer step."""
         self.supernet.zero_grad()
         self.supernet.loss(arch, batch.inputs, batch.labels).backward()
-        self._optimizer.step()
+        self.optimizer_step()
 
     def make_record(
         self, step: int, candidates: Sequence[CandidateRecord]

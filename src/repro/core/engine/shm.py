@@ -1,0 +1,283 @@
+"""Shared-memory publication of supernet weights for process workers.
+
+The process-pool backend scores shards in worker *processes*, so the
+supernet's weights must be visible across address spaces.  Pickling the
+weights into every task would ship the full parameter set per task per
+step; instead the engine publishes **one** copy into a
+:mod:`multiprocessing.shared_memory` segment and updates it in place
+after each cross-shard weight update.  Workers attach once and copy the
+current weights into their rehydrated supernet before scoring.
+
+Torn reads are prevented with a *seqlock*: the segment header carries a
+version counter that the publisher bumps to an odd value before writing
+and to the next even value after.  A reader copies the payload, then
+re-reads the version — an odd value or a changed value means the copy
+raced a write and must be retried.  (In the engine's step loop the
+publisher only writes between fan-outs, so retries are a correctness
+backstop, not a steady-state cost.)
+
+Two segment flavors live here:
+
+* :class:`SharedWeights` — the flat float64 parameter image plus its
+  ``(shape, offset, size)`` layout;
+* :class:`SharedBlob` — an immutable pickled payload (the worker
+  rehydration spec), written once at publish time.
+
+Every segment this process creates is tracked and unlinked at exit, so
+crashed or interrupted runs do not leak ``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised implicitly on every POSIX platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+#: int64 header slots: ``[0]`` is the seqlock version; the rest are
+#: reserved so the payload stays 64-byte aligned.
+HEADER_SLOTS = 8
+HEADER_BYTES = HEADER_SLOTS * 8
+
+#: ``(shape, offset, size)`` per parameter, offsets in float64 elements.
+WeightLayout = List[Tuple[Tuple[int, ...], int, int]]
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform offers ``multiprocessing.shared_memory``."""
+    return shared_memory is not None
+
+
+# ----------------------------------------------------------------------
+# Creator-side segment tracking: unlink everything we created at exit.
+# ----------------------------------------------------------------------
+_CREATED: Dict[str, Any] = {}
+_CREATED_LOCK = threading.Lock()
+
+
+def _track(segment: Any) -> None:
+    with _CREATED_LOCK:
+        _CREATED[segment.name] = segment
+
+
+def _untrack(name: str) -> None:
+    with _CREATED_LOCK:
+        _CREATED.pop(name, None)
+
+
+def _cleanup_created_segments() -> None:
+    """Unlink every still-live segment this process created."""
+    with _CREATED_LOCK:
+        segments = list(_CREATED.values())
+        _CREATED.clear()
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - best-effort exit cleanup
+            pass
+
+
+# Registered at import time, i.e. *before* the executor pools register
+# their own atexit hooks in backends.py — atexit runs LIFO, so pools
+# shut down (workers stop reading) before their segments are unlinked.
+atexit.register(_cleanup_created_segments)
+
+
+def _attach_segment(name: str) -> Any:
+    """Attach to an existing segment without adopting its lifetime.
+
+    Python 3.11's ``SharedMemory`` registers *attachments* with the
+    resource tracker too (``track=False`` only exists from 3.13), which
+    is wrong both ways: under ``spawn`` the worker's tracker unlinks the
+    creator's segment when the worker exits; under ``fork`` the shared
+    tracker would double-book and unregistering would strip the
+    *creator's* entry.  The creator owns the segment, so registration is
+    suppressed for the duration of the attach.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class _Segment:
+    """Shared lifecycle plumbing of both segment flavors."""
+
+    def __init__(self, segment: Any, owner: bool):
+        self._segment = segment
+        self._owner = owner
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+        except Exception:  # pragma: no cover - double-close races
+            pass
+
+    def release(self) -> None:
+        """Creator-side teardown: unmap *and* unlink the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        _untrack(self._segment.name)
+        try:
+            self._segment.close()
+            if self._owner:
+                self._segment.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+
+
+class SharedWeights(_Segment):
+    """One shared, versioned copy of a supernet's parameter arrays.
+
+    The publisher (engine process) calls :meth:`publish` after every
+    cross-shard weight update; readers (workers) call :meth:`copy_into`
+    before scoring.  The seqlock version makes a torn read impossible:
+    readers retry until they observe the same even version before and
+    after their copy.
+    """
+
+    def __init__(self, segment: Any, layout: WeightLayout, owner: bool):
+        super().__init__(segment, owner)
+        self.layout = [
+            (tuple(shape), int(offset), int(size))
+            for shape, offset, size in layout
+        ]
+        total = sum(size for _, _, size in self.layout)
+        self._header = np.ndarray(
+            (HEADER_SLOTS,), dtype=np.int64, buffer=segment.buf
+        )
+        self._data = np.ndarray(
+            (total,), dtype=np.float64, buffer=segment.buf, offset=HEADER_BYTES
+        )
+
+    @property
+    def version(self) -> int:
+        """Latest published version (even; odd means write in progress)."""
+        return int(self._header[0])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Sequence[np.ndarray]) -> "SharedWeights":
+        """Create a segment sized for ``arrays`` and publish them as v2."""
+        layout: WeightLayout = []
+        offset = 0
+        for array in arrays:
+            if array.dtype != np.float64:
+                raise TypeError(
+                    f"shared weights must be float64, got {array.dtype}"
+                )
+            layout.append((tuple(array.shape), offset, int(array.size)))
+            offset += int(array.size)
+        segment = shared_memory.SharedMemory(
+            create=True, size=HEADER_BYTES + max(offset, 1) * 8
+        )
+        _track(segment)
+        weights = cls(segment, layout, owner=True)
+        weights._header[:] = 0
+        weights.publish(arrays)
+        return weights
+
+    @classmethod
+    def attach(cls, name: str, layout: WeightLayout) -> "SharedWeights":
+        """Worker-side view of an existing segment (read-only by use)."""
+        return cls(_attach_segment(name), layout, owner=False)
+
+    # ------------------------------------------------------------------
+    def publish(
+        self, arrays: Sequence[np.ndarray], minimum_version: int = 0
+    ) -> int:
+        """Write ``arrays`` into the segment under the seqlock.
+
+        ``minimum_version`` lets a resumed run fast-forward the counter
+        past the version a checkpoint recorded, keeping it monotonic
+        across crash/resume.  Returns the new (even) version.
+        """
+        if len(arrays) != len(self.layout):
+            raise ValueError(
+                f"publish got {len(arrays)} arrays for a layout of "
+                f"{len(self.layout)}"
+            )
+        current = self.version
+        self._header[0] = current + 1  # odd: write in progress
+        for array, (shape, offset, size) in zip(arrays, self.layout):
+            self._data[offset : offset + size] = np.asarray(array).reshape(-1)
+        target = max(current + 2, int(minimum_version))
+        if target & 1:
+            target += 1
+        self._header[0] = target
+        return target
+
+    def copy_into(self, arrays: Sequence[np.ndarray]) -> int:
+        """Copy the current weights into ``arrays``; returns the version.
+
+        Retries until a stable even version brackets the copy, so the
+        caller never observes a half-written update.
+        """
+        if len(arrays) != len(self.layout):
+            raise ValueError(
+                f"copy_into got {len(arrays)} arrays for a layout of "
+                f"{len(self.layout)}"
+            )
+        while True:
+            before = self.version
+            if before & 1:
+                time.sleep(0.0002)
+                continue
+            for array, (shape, offset, size) in zip(arrays, self.layout):
+                np.copyto(array, self._data[offset : offset + size].reshape(shape))
+            if self.version == before:
+                return before
+            time.sleep(0.0002)
+
+
+class SharedBlob(_Segment):
+    """An immutable shared byte payload (worker rehydration specs).
+
+    Written once at creation; the int64 header carries the payload
+    length, so no versioning is needed.
+    """
+
+    def __init__(self, segment: Any, owner: bool):
+        super().__init__(segment, owner)
+        self._header = np.ndarray((1,), dtype=np.int64, buffer=segment.buf)
+
+    @classmethod
+    def create(cls, payload: bytes) -> "SharedBlob":
+        segment = shared_memory.SharedMemory(
+            create=True, size=8 + max(len(payload), 1)
+        )
+        _track(segment)
+        blob = cls(segment, owner=True)
+        blob._header[0] = len(payload)
+        segment.buf[8 : 8 + len(payload)] = payload
+        return blob
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedBlob":
+        return cls(_attach_segment(name), owner=False)
+
+    def load(self) -> bytes:
+        """The payload bytes (a copy; safe after :meth:`close`)."""
+        length = int(self._header[0])
+        return bytes(self._segment.buf[8 : 8 + length])

@@ -1,0 +1,419 @@
+"""Serializable stage tasks and the per-process worker context.
+
+The engine's score stages historically captured live search objects in
+closures — fine for threads, impossible for processes.  This module is
+the picklable boundary: a :class:`StageTask` carries only plain data
+(architectures, batch arrays, rng generators) plus a
+:class:`RemoteContextRef` naming the shared-memory segments a worker
+needs to rebuild the scoring context, and :func:`run_stage_task` is the
+module-level entry point a process pool can import by qualified name.
+
+Worker lifecycle:
+
+* the pool initializer (:func:`initialize_worker`) marks the process as
+  a worker and drops any state inherited over ``fork`` — contexts must
+  be rebuilt from their refs, never reused from the parent's memory;
+* the first task referencing a context **rehydrates** it: the pickled
+  spec blob is loaded from shared memory, the supernet is rebuilt from
+  its ``(class, config)`` factory (or unpickled), its parameter shapes
+  are validated against the shared-weights layout, and the weights
+  segment is attached — once per worker process, cached thereafter;
+* before scoring, a task whose ``version`` is newer than the context's
+  last-applied version copies the current weights out of shared memory
+  (a torn-read-safe seqlock copy, see :mod:`.shm`).
+
+When :func:`run_stage_task` runs on the *engine* thread instead — the
+process backend degrades to a serial loop for single-task maps or
+unpicklable supernets — the context ref resolves to the live supernet
+registered at context creation, so no copy and no segment attachment
+happens and results are trivially identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .shm import SharedBlob, SharedWeights, shared_memory_available
+
+#: Stage-task kinds the worker knows how to run.
+TASK_KINDS = ("quality_many", "quality", "quality_split")
+
+#: Worker-side context cache capacity.  Tests and sweeps create many
+#: short-lived searches against one long-lived pool; each context holds
+#: a full supernet, so the cache stays small and evicts oldest-first.
+CONTEXT_CACHE_CAPACITY = 4
+
+
+@dataclass(frozen=True)
+class RemoteContextRef:
+    """Everything a worker needs to (re)build one scoring context.
+
+    ``layout`` and segment names describe where the supernet spec and
+    the current weights live in shared memory; ``version`` stamps the
+    weight state this task must score against — a worker whose applied
+    version is older refreshes from the segment before scoring.
+    """
+
+    context_id: str
+    spec_segment: str
+    weights_segment: Optional[str]
+    layout: Tuple[Tuple[Tuple[int, ...], int, int], ...]
+    version: int
+
+
+@dataclass(frozen=True)
+class StageTask:
+    """One unit of remote stage work: pure data plus a context ref."""
+
+    stage: str
+    kind: str
+    context: RemoteContextRef
+    payload: Tuple[Any, ...]
+
+
+# ----------------------------------------------------------------------
+# Per-process state
+# ----------------------------------------------------------------------
+_IS_WORKER = False
+#: worker-side rehydrated contexts, keyed by context_id (LRU)
+_CONTEXTS: "OrderedDict[str, _WorkerContext]" = OrderedDict()
+#: engine-side live contexts, for the serial-fallback path
+_LOCAL: Dict[str, Any] = {}
+
+_CONTEXT_COUNTER = itertools.count()
+
+
+def initialize_worker() -> None:
+    """Process-pool initializer: mark this process as a worker.
+
+    Under the ``fork`` start method the child inherits the parent's
+    module state — including live engine-side contexts whose supernets
+    must NOT be scored against (their weights stop tracking the engine's
+    the moment the fork happens).  Everything is dropped; contexts are
+    rebuilt from their refs on first use.
+    """
+    global _IS_WORKER
+    _IS_WORKER = True
+    _CONTEXTS.clear()
+    _LOCAL.clear()
+
+
+def in_worker() -> bool:
+    """Whether this process is a pool worker (vs the engine process)."""
+    return _IS_WORKER
+
+
+class _WorkerContext:
+    """A rehydrated supernet plus its shared-weights attachment."""
+
+    def __init__(self, supernet: Any, weights: Optional[SharedWeights]):
+        self.supernet = supernet
+        self.weights = weights
+        self.param_arrays = [p.data for p in supernet.parameters()]
+        self.applied_version = 0
+
+    def sync_weights(self, version: int) -> None:
+        if self.weights is not None and self.applied_version < version:
+            self.applied_version = self.weights.copy_into(self.param_arrays)
+
+    def close(self) -> None:
+        if self.weights is not None:
+            self.weights.close()
+
+
+def build_supernet_from_spec(spec: Tuple[Any, ...]) -> Any:
+    """Instantiate a supernet from its serialized spec.
+
+    Specs come in two flavors: ``("factory", cls, args, kwargs)`` —
+    rebuild by calling the class (the normal path; config objects are
+    tiny and the constructor re-creates every parameter array, which
+    the shared weights then overwrite) — and ``("pickle", supernet)``
+    for hosts without a usable constructor spec.
+    """
+    kind = spec[0]
+    if kind == "factory":
+        _, cls, args, kwargs = spec
+        return cls(*args, **kwargs)
+    if kind == "pickle":
+        return spec[1]
+    raise ValueError(f"unknown supernet spec kind {kind!r}")
+
+
+def _rehydrate(ref: RemoteContextRef) -> _WorkerContext:
+    """Build this worker's copy of the context named by ``ref``."""
+    blob = SharedBlob.attach(ref.spec_segment)
+    try:
+        spec = pickle.loads(blob.load())
+    finally:
+        blob.close()
+    supernet = build_supernet_from_spec(spec)
+    arrays = [p.data for p in supernet.parameters()]
+    shapes = [tuple(a.shape) for a in arrays]
+    expected = [tuple(shape) for shape, _, _ in ref.layout]
+    if shapes != expected:
+        raise RuntimeError(
+            f"rehydrated supernet parameters {shapes} do not match the "
+            f"shared-weights layout {expected}"
+        )
+    weights = None
+    if ref.weights_segment is not None:
+        weights = SharedWeights.attach(ref.weights_segment, list(ref.layout))
+    return _WorkerContext(supernet, weights)
+
+
+def _context_for(ref: RemoteContextRef) -> Any:
+    """The scoring context for ``ref``: live on the engine thread,
+    rehydrated-and-cached in a worker process."""
+    if not _IS_WORKER:
+        supernet = _LOCAL.get(ref.context_id)
+        if supernet is None:
+            raise RuntimeError(
+                f"stage task references unknown local context {ref.context_id!r}"
+            )
+        return supernet
+    ctx = _CONTEXTS.get(ref.context_id)
+    if ctx is None:
+        ctx = _rehydrate(ref)
+        _CONTEXTS[ref.context_id] = ctx
+        while len(_CONTEXTS) > CONTEXT_CACHE_CAPACITY:
+            _, evicted = _CONTEXTS.popitem(last=False)
+            evicted.close()
+    else:
+        _CONTEXTS.move_to_end(ref.context_id)
+    ctx.sync_weights(ref.version)
+    return ctx.supernet
+
+
+def register_local_context(context_id: str, supernet: Any) -> None:
+    """Engine-side registration backing the serial-fallback path."""
+    _LOCAL[context_id] = supernet
+
+
+def unregister_local_context(context_id: str) -> None:
+    _LOCAL.pop(context_id, None)
+
+
+def next_context_id() -> str:
+    """A context id unique across processes and engine instances."""
+    return f"{os.getpid()}-{next(_CONTEXT_COUNTER)}"
+
+
+# ----------------------------------------------------------------------
+# Task execution
+# ----------------------------------------------------------------------
+def run_stage_task(task: StageTask) -> Tuple[Any, float, int]:
+    """Execute one stage task; returns ``(value, seconds, pid)``.
+
+    The wall time is measured here, inside the worker, so the engine
+    can account per-process ``span.worker`` durations without workers
+    ever touching the metrics registry.
+    """
+    start = time.perf_counter()
+    supernet = _context_for(task.context)
+    if task.kind == "quality_many":
+        arch, inputs_seq, labels_seq = task.payload
+        value: Any = [
+            float(v) for v in supernet.quality_many(arch, inputs_seq, labels_seq)
+        ]
+    elif task.kind == "quality":
+        arch, inputs, labels = task.payload
+        value = float(supernet.quality(arch, inputs, labels))
+    elif task.kind == "quality_split":
+        arch, inputs, labels, rng = task.payload
+        value = float(supernet.quality_split(arch, inputs, labels, rng))
+    else:
+        raise ValueError(f"unknown stage-task kind {task.kind!r}")
+    return value, time.perf_counter() - start, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Payload builders (the engine's closure-free stage decomposition)
+# ----------------------------------------------------------------------
+def quality_many_payloads(
+    drawn: Sequence[Tuple[Any, Sequence[int]]],
+    batches: Sequence[Any],
+    groups: Sequence[List[int]],
+) -> List[Tuple[Any, ...]]:
+    """One grouped-scoring payload per unique architecture."""
+    return [
+        (
+            drawn[positions[0]][0],
+            [batches[i].inputs for i in positions],
+            [batches[i].labels for i in positions],
+        )
+        for positions in groups
+    ]
+
+
+def quality_payloads(
+    drawn: Sequence[Tuple[Any, Sequence[int]]], batch: Any
+) -> List[Tuple[Any, ...]]:
+    """One shared-batch scoring payload per candidate."""
+    return [(arch, batch.inputs, batch.labels) for arch, _ in drawn]
+
+
+def quality_split_payloads(
+    drawn: Sequence[Tuple[Any, Sequence[int]]],
+    batches: Sequence[Any],
+    streams: Sequence[np.random.Generator],
+) -> List[Tuple[Any, ...]]:
+    """One split-rng scoring payload per candidate.
+
+    ``batches`` aligns with ``drawn`` — pass ``[batch] * len(drawn)``
+    for the shared-batch variant.  Generators pickle with their exact
+    bit-generator state, so a worker draws the same stream the engine
+    thread would have.
+    """
+    return [
+        (arch, batch.inputs, batch.labels, stream)
+        for (arch, _), batch, stream in zip(drawn, batches, streams)
+    ]
+
+
+def payload_nbytes(tasks: Sequence[StageTask]) -> int:
+    """Approximate pickled payload volume of a fan-out, for telemetry.
+
+    Counts ndarray bytes (the dominant term — batch arrays) found
+    anywhere in the payloads; container and spec overhead is noise by
+    comparison and not worth a pickle round-trip to measure.
+    """
+    total = 0
+
+    def walk(value: Any) -> None:
+        nonlocal total
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+        elif isinstance(value, dict):
+            for item in value.values():
+                walk(item)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                walk(item)
+
+    for task in tasks:
+        walk(task.payload)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Engine-side context construction
+# ----------------------------------------------------------------------
+def worker_spec_for(supernet: Any) -> Tuple[Any, ...]:
+    """The serialized-rebuild spec of ``supernet``.
+
+    Preference order: an explicit ``worker_spec()`` hook, then the
+    ``(class, config)`` factory convention, then whole-object pickling
+    as a last resort.
+    """
+    hook = getattr(supernet, "worker_spec", None)
+    if hook is not None:
+        return hook()
+    config = getattr(supernet, "config", None)
+    if config is not None:
+        return ("factory", type(supernet), (config,), {})
+    return ("pickle", supernet)
+
+
+class RemoteShardContext:
+    """Engine-side handle on one supernet published to workers.
+
+    Owns the spec blob and weights segments, tracks the published
+    version, and registers the live supernet for the serial-fallback
+    path.  Built through :func:`build_remote_context`, which validates
+    the whole round trip before any worker sees a task.
+    """
+
+    def __init__(
+        self,
+        supernet: Any,
+        weights: SharedWeights,
+        spec_blob: SharedBlob,
+    ):
+        self.supernet = supernet
+        self.param_arrays = [p.data for p in supernet.parameters()]
+        self.weights = weights
+        self.spec_blob = spec_blob
+        self.context_id = next_context_id()
+        self.version = weights.version
+        self._released = False
+        register_local_context(self.context_id, supernet)
+
+    def ref(self) -> RemoteContextRef:
+        """A picklable reference stamped with the current version."""
+        return RemoteContextRef(
+            context_id=self.context_id,
+            spec_segment=self.spec_blob.name,
+            weights_segment=self.weights.name,
+            layout=tuple(self.weights.layout),
+            version=self.version,
+        )
+
+    def publish(self) -> int:
+        """Push the live parameter arrays into the shared segment."""
+        self.version = self.weights.publish(self.param_arrays)
+        return self.version
+
+    def fast_forward(self, version: int) -> int:
+        """Republish past ``version`` (a checkpoint's recorded version).
+
+        Keeps the version monotonic across crash/resume so a surviving
+        worker whose applied version predates the crash still refreshes
+        on its first post-resume task.
+        """
+        self.version = self.weights.publish(
+            self.param_arrays, minimum_version=int(version) + 1
+        )
+        return self.version
+
+    def release(self) -> None:
+        """Tear down segments and the local registration (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        unregister_local_context(self.context_id)
+        self.weights.release()
+        self.spec_blob.release()
+
+
+def build_remote_context(supernet: Any) -> Optional[RemoteShardContext]:
+    """Publish ``supernet`` for worker processes, or ``None`` if it
+    cannot travel.
+
+    The probe is strict so failures surface *here*, at registration,
+    rather than as a crashed worker mid-step: the spec must survive a
+    pickle round trip and rebuild into a supernet whose parameter
+    shapes and dtypes match the live one exactly (shared weights
+    overwrite values, not structure).  Any failure keeps the search on
+    the always-correct in-process path.
+    """
+    if not shared_memory_available():
+        return None
+    weights = None
+    blob = None
+    try:
+        params = list(supernet.parameters())
+        arrays = [p.data for p in params]
+        spec_bytes = pickle.dumps(worker_spec_for(supernet))
+        rebuilt = build_supernet_from_spec(pickle.loads(spec_bytes))
+        rebuilt_arrays = [p.data for p in rebuilt.parameters()]
+        if [(a.shape, a.dtype) for a in rebuilt_arrays] != [
+            (a.shape, a.dtype) for a in arrays
+        ]:
+            return None
+        weights = SharedWeights.create(arrays)
+        blob = SharedBlob.create(spec_bytes)
+        return RemoteShardContext(supernet, weights, blob)
+    except Exception:
+        if weights is not None:
+            weights.release()
+        if blob is not None:
+            blob.release()
+        return None

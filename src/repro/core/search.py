@@ -111,7 +111,7 @@ class SingleStepSearch(SearchEngine):
             self.accumulate_shard_gradient(drawn, batches, groups)
             for batch in batches:
                 self.pipeline.mark_weight_use(batch)
-            self._optimizer.step()
+            self.optimizer_step()
         return self.make_record(step, candidates)
 
 

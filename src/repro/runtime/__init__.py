@@ -35,6 +35,7 @@ from .checkpoint import (
     supernet_state,
     unpack_state,
 )
+from .errors import NON_RETRYABLE_TYPES, WorkerCrashError, classify_error, is_retryable
 from .faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -57,6 +58,10 @@ from .supervisor import (
 __all__ = [
     "CHECKPOINT_FORMAT",
     "FAULT_KINDS",
+    "NON_RETRYABLE_TYPES",
+    "WorkerCrashError",
+    "classify_error",
+    "is_retryable",
     "AttemptRecord",
     "CheckpointCorruptError",
     "CheckpointError",

@@ -40,6 +40,18 @@ NON_RETRYABLE_TYPES: Tuple[Type[BaseException], ...] = (
 )
 
 
+class WorkerCrashError(RuntimeError):
+    """A backend lost worker processes beyond its resubmission budget.
+
+    Raised by :class:`~repro.core.engine.backends.ProcessPoolBackend`
+    after a ``map`` survived ``max_map_retries`` broken pools and broke
+    again.  Deliberately a ``RuntimeError`` subclass: losing workers is
+    a transient infrastructure failure (OOM kills, preemptions), so the
+    supervisor's restart loop classifies it retryable and resumes the
+    search from its last snapshot rather than giving up.
+    """
+
+
 def is_retryable(error: BaseException) -> bool:
     """Whether a retry loop should attempt ``error`` again.
 

@@ -167,6 +167,24 @@ class StackedScoringMixin:
 
         return self._tape_cache().get_or_build(key, factory), arrays
 
+    def worker_spec(self) -> Tuple:
+        """How a process-pool worker rebuilds this supernet.
+
+        Returns a ``("factory", cls, args, kwargs)`` spec when the host
+        follows the ``cls(config)`` constructor convention — workers
+        reconstruct the module graph from the (tiny) config and then
+        overwrite every parameter from the shared-weights segment, so
+        the instance itself never needs to pickle.  That matters here:
+        a populated tape cache holds per-graph locks, which makes
+        whole-object pickling of a warmed-up supernet impossible.
+        Hosts without a ``config`` fall back to whole-object pickling,
+        and hosts with richer constructors should override this hook.
+        """
+        config = getattr(self, "config", None)
+        if config is not None:
+            return ("factory", type(self), (config,), {})
+        return ("pickle", self)
+
     def tape_stats(self) -> Dict[str, int]:
         """Process-lifetime counters of the instance's graph cache."""
         cache = self.__dict__.get("_tapes")

@@ -11,11 +11,17 @@ map, per-task rng splitting, checkpointable split counter) and of the
 ``getattr`` duck-typing.
 """
 
+import os
+import pickle
+import signal
+
 import numpy as np
 import pytest
 
 from repro.core import (
     PerformanceObjective,
+    ProcessPoolBackend,
+    group_unique_architectures,
     SearchConfig,
     SerialBackend,
     SingleStepSearch,
@@ -24,8 +30,19 @@ from repro.core import (
     TunasSearch,
     relu_reward,
     resolve_backend,
+    shutdown_pools,
 )
-from repro.core.engine import BACKEND_ENV_VAR, WORKERS_ENV_VAR, ExecutionBackend
+from repro.core.engine import (
+    BACKEND_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ExecutionBackend,
+    RemoteContextRef,
+    StageTask,
+    in_worker,
+    run_stage_task,
+)
+from repro.core.engine import backends as backends_mod
+from repro.core.engine import worker as worker_mod
 from repro.core.eval_runtime import EvalRuntime
 from repro.data import CtrTaskConfig, CtrTeacher, SingleStepPipeline, TwoStreamPipeline
 from repro.runtime import CheckpointStore, FaultInjector, FaultSpec, run_with_checkpoints
@@ -82,7 +99,54 @@ def build_tunas(backend, seed=0, telemetry=None, workers=None):
     )
 
 
+def build_single_with_fn(backend, performance_fn, seed=0):
+    teacher = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed))
+    return SingleStepSearch(
+        space=build_space(),
+        supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES, seed=seed)),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+        performance_fn=performance_fn,
+        config=SearchConfig(steps=STEPS, num_cores=4, warmup_steps=2, seed=seed, backend=backend),
+    )
+
+
 BUILDERS = {"single_step": build_single, "tunas": build_tunas}
+
+
+# Module level so they pickle — the process backend's whole point is
+# that its tasks travel by qualified name, not by closure.
+def _square(x):
+    return x * x
+
+
+def _reciprocal(x):
+    return 1 // x
+
+
+class KillOnceCost:
+    """Picklable pricing fn that SIGKILLs the first worker that runs it.
+
+    The flag file (O_EXCL-created) makes the kill fire exactly once
+    across all workers and all resubmissions; engine-thread calls never
+    kill, so the serial reference run prices identically.
+    """
+
+    parallel_safe = True
+
+    def __init__(self, flag_path):
+        self.flag_path = str(flag_path)
+
+    def __call__(self, arch):
+        if in_worker():
+            try:
+                fd = os.open(self.flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pass
+            else:
+                os.close(fd)
+                os.kill(os.getpid(), signal.SIGKILL)
+        return capacity_cost(arch)
 
 
 def assert_results_identical(reference, other, space):
@@ -349,6 +413,292 @@ class TestParallelSafePricing:
         runtime.attach_backend(ThreadPoolBackend(workers=4))
         runtime.price_many(drawn)
         assert fn.calls == runtime.evaluations
+
+
+def _surrogate_quality(arch):
+    return 1.0 - 0.01 * arch["emb0/width_delta"]
+
+
+class TestProcessBackendContract:
+    def test_map_preserves_order(self):
+        backend = ProcessPoolBackend(workers=2)
+        items = list(range(16))
+        assert backend.map(_square, items) == [i * i for i in items]
+
+    def test_map_propagates_task_exceptions(self):
+        backend = ProcessPoolBackend(workers=2)
+        with pytest.raises(ZeroDivisionError):
+            backend.map(_reciprocal, [1, 2, 0, 3])
+
+    def test_unpicklable_fn_degrades_to_local_map(self):
+        backend = ProcessPoolBackend(workers=2)
+        calls = []
+
+        def fn(x):  # closure: cannot travel to a worker process
+            calls.append(x)
+            return x + 1
+
+        assert backend.map(fn, [1, 2, 3]) == [2, 3, 4]
+        assert calls == [1, 2, 3]  # ran in this process, in order
+
+    def test_rng_streams_identical_to_serial(self):
+        serial = SerialBackend(seed=7)
+        procs = ProcessPoolBackend(workers=2, seed=7)
+        for _ in range(3):
+            a = [rng.standard_normal(4) for rng in serial.rng_streams(5)]
+            b = [rng.standard_normal(4) for rng in procs.rng_streams(5)]
+            for x, y in zip(a, b):
+                np.testing.assert_array_equal(x, y)
+
+    def test_state_dict_carries_weights_version(self):
+        backend = ProcessPoolBackend(workers=2)
+        state = backend.state_dict()
+        assert state["name"] == "processes"
+        assert state["weights_version"] == 0  # no supernet registered
+        ProcessPoolBackend(workers=2).load_state_dict(state)
+
+    def test_resolve_backend_processes_and_aliases(self):
+        for spec in ("processes", "process", "procs", "processpool", "mp"):
+            backend = resolve_backend(spec, workers=2)
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.workers == 2
+
+    def test_bad_workers_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "four")
+        with pytest.raises(ValueError, match=r"REPRO_WORKERS.*'four'"):
+            resolve_backend("threads")
+
+    def test_unknown_backend_error_derives_names_from_registry(self):
+        with pytest.raises(ValueError, match="processes"):
+            resolve_backend("gpu")
+
+    def test_env_sourced_bad_backend_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(ValueError, match=r"REPRO_BACKEND"):
+            resolve_backend(None)
+
+
+class TestPoolLifecycle:
+    def test_owned_thread_pool_released_on_close(self):
+        backend = ThreadPoolBackend(workers=2, shared=False)
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert backend._owned_pool is not None
+        backend.close()
+        assert backend._owned_pool is None
+
+    def test_owned_process_pool_released_on_close(self):
+        backend = ProcessPoolBackend(workers=2, shared=False)
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert backend._owned_pool is not None
+        backend.close()
+        assert backend._owned_pool is None
+
+    def test_shutdown_pools_clears_shared_registry(self):
+        backend = ThreadPoolBackend(workers=3)
+        assert backend.map(_square, [1, 2]) == [1, 4]
+        assert backends_mod._POOLS
+        shutdown_pools()
+        assert not backends_mod._POOLS
+        # Pools rebuild transparently on the next map.
+        assert backend.map(_square, [2, 3]) == [4, 9]
+
+
+class TestStageTaskPickling:
+    """Every engine stage task must survive pickle.
+
+    The regression this pins is a closure capture sneaking back into
+    the remote score path: the process backend silently degrades to
+    in-process execution for unpicklable functions, so a capture would
+    not fail loudly — it would quietly serialize the whole CI leg.
+    """
+
+    def _local_ref(self, supernet):
+        context_id = worker_mod.next_context_id()
+        worker_mod.register_local_context(context_id, supernet)
+        return RemoteContextRef(
+            context_id=context_id,
+            spec_segment="",
+            weights_segment=None,
+            layout=(),
+            version=0,
+        )
+
+    def _shard(self, search, count=4):
+        drawn = search.sample_shard(count, warming_up=True)
+        batches = [search.pipeline.next_batch() for _ in range(count)]
+        return drawn, batches
+
+    def _assert_round_trip(self, tasks):
+        for task in tasks:
+            clone = pickle.loads(pickle.dumps(task))
+            assert clone.stage == task.stage and clone.kind == task.kind
+            direct, _, _ = run_stage_task(task)
+            cloned, _, _ = run_stage_task(clone)
+            assert direct == cloned
+
+    def test_quality_many_tasks_round_trip(self):
+        search = build_single(backend="serial")
+        drawn, batches = self._shard(search)
+        groups = group_unique_architectures(drawn)
+        ref = self._local_ref(search.supernet)
+        tasks = [
+            StageTask(stage="score", kind="quality_many", context=ref, payload=p)
+            for p in worker_mod.quality_many_payloads(drawn, batches, groups)
+        ]
+        self._assert_round_trip(tasks)
+
+    def test_quality_tasks_round_trip(self):
+        search = build_single(backend="serial")
+        drawn, batches = self._shard(search)
+        ref = self._local_ref(search.supernet)
+        tasks = [
+            StageTask(stage="score", kind="quality", context=ref, payload=p)
+            for p in worker_mod.quality_payloads(drawn, batches[0])
+        ]
+        self._assert_round_trip(tasks)
+
+    def test_quality_split_tasks_round_trip(self):
+        # Generators pickle with their exact bit-generator state: the
+        # pickled task must draw the same noise the live one would.
+        supernet = SurrogateSuperNetwork(
+            _surrogate_quality, noise_sigma=0.05, seed=11, split_noise=True
+        )
+        search = build_single(backend="serial")
+        drawn, batches = self._shard(search)
+        ref = self._local_ref(supernet)
+
+        def make_tasks():
+            streams = SerialBackend(seed=3).rng_streams(len(drawn))
+            return [
+                StageTask(stage="score", kind="quality_split", context=ref, payload=p)
+                for p in worker_mod.quality_split_payloads(drawn, batches, streams)
+            ]
+
+        live = [run_stage_task(t)[0] for t in make_tasks()]
+        pickled = [
+            run_stage_task(pickle.loads(pickle.dumps(t)))[0] for t in make_tasks()
+        ]
+        assert live == pickled
+
+    def test_task_entry_point_and_pricing_fns_pickle(self):
+        assert pickle.loads(pickle.dumps(run_stage_task)) is run_stage_task
+        assert pickle.loads(pickle.dumps(capacity_cost)) is capacity_cost
+        clone = pickle.loads(pickle.dumps(KillOnceCost("/tmp/flag")))
+        assert clone.flag_path == "/tmp/flag"
+
+    def test_unknown_task_kind_rejected(self):
+        search = build_single(backend="serial")
+        ref = self._local_ref(search.supernet)
+        task = StageTask(stage="score", kind="mystery", context=ref, payload=())
+        with pytest.raises(ValueError):
+            run_stage_task(task)
+
+
+class TestProcessEquivalence:
+    """Serial vs process-pool bit-identity: the tentpole contract."""
+
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    def test_processes_match_serial(self, strategy):
+        build = BUILDERS[strategy]
+        serial = build(backend="serial").run()
+        proc_search = build(backend="processes", workers=2)
+        assert proc_search._remote_active()  # scoring really goes remote
+        assert_results_identical(serial, proc_search.run(), build_space())
+
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    def test_process_crash_resume_matches_serial(self, tmp_path, strategy):
+        build = BUILDERS[strategy]
+        reference = build(backend="serial").run()
+
+        store = CheckpointStore(tmp_path, keep_last=2)
+        injector = FaultInjector([FaultSpec("crash", step=5)])
+        dying = build(backend="processes", workers=2)
+        injector.arm(dying, store)
+        with pytest.raises(InjectedCrash):
+            run_with_checkpoints(
+                dying, store=store, checkpoint_every=2, injector=injector
+            )
+        del dying
+
+        resumed = run_with_checkpoints(
+            build(backend="processes", workers=2), store=store, checkpoint_every=2
+        )
+        assert resumed.resume.resumed
+        assert_results_identical(reference, resumed.result, build_space())
+
+    def test_killed_worker_resubmits_and_matches_serial(self, tmp_path):
+        flag = tmp_path / "killed"
+        serial = build_single_with_fn("serial", KillOnceCost(flag)).run()
+        backend = ProcessPoolBackend(workers=2, shared=False)
+        result = build_single_with_fn(backend, KillOnceCost(flag)).run()
+        assert flag.exists()  # a worker really died mid-shard
+        assert backend.worker_losses >= 1
+        assert_results_identical(serial, result, build_space())
+        backend.close()
+
+    def test_unpicklable_supernet_stays_in_process(self):
+        # A lambda quality fn cannot travel; registration must probe
+        # that and keep every stage on the (always correct) local path.
+        def run(backend):
+            teacher = CtrTeacher(
+                CtrTaskConfig(num_tables=NUM_TABLES, batch_size=8, seed=0)
+            )
+            search = SingleStepSearch(
+                space=build_space(),
+                supernet=SurrogateSuperNetwork(
+                    lambda a: 1.0 - 0.01 * a["emb0/width_delta"],
+                    noise_sigma=0.05,
+                    seed=11,
+                    split_noise=True,
+                ),
+                pipeline=SingleStepPipeline(teacher.next_batch),
+                reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+                performance_fn=capacity_cost,
+                config=SearchConfig(
+                    steps=STEPS, num_cores=4, warmup_steps=2, seed=0, backend=backend
+                ),
+            )
+            if isinstance(backend, ProcessPoolBackend):
+                assert search._remote_ctx is None
+            return search.run()
+
+        assert_results_identical(
+            run("serial"), run(ProcessPoolBackend(workers=2)), build_space()
+        )
+
+    def test_process_backend_state_rides_in_snapshots(self):
+        search = build_single(backend="processes", workers=2)
+        state = search.state_dict()
+        backend_state = state["backend"]
+        assert backend_state["name"] == "processes"
+        assert backend_state["weights_version"] >= 2  # published at build
+        fresh = build_single(backend="processes", workers=2)
+        fresh.load_state_dict(state)
+        # Restore fast-forwards the segment version past the snapshot's
+        # so surviving workers refresh on their first post-resume task.
+        assert (
+            fresh.backend.state_dict()["weights_version"]
+            > backend_state["weights_version"]
+        )
+
+    def test_process_engine_telemetry(self):
+        telemetry = Telemetry()
+        result = build_single(
+            backend="processes", workers=2, telemetry=telemetry
+        ).run()
+        assert len(result.history) == STEPS
+        assert telemetry.counter("engine.ipc.bytes").value(backend="processes") > 0
+        assert telemetry.counter("engine.tasks").value(
+            stage="score", backend="processes"
+        ) > 0
+        spans = telemetry.trace.registry.histogram("span.worker").series()
+        labels = [dict(key) for key in spans]
+        assert any(
+            entry.get("stage") == "score"
+            and entry.get("backend") == "processes"
+            and "pid" in entry
+            for entry in labels
+        )
 
 
 class TestEngineTelemetry:
