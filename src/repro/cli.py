@@ -11,7 +11,18 @@ Subcommands:
   ``--telemetry-dir`` records metrics and an event log;
 * ``report telemetry`` — summarize a telemetry directory;
 * ``perfmodel`` — two-phase performance-model training on a DLRM slice
-  (``--jobs`` parallelizes the simulator sweep).
+  (``--jobs`` parallelizes the simulator sweep);
+* ``serve`` — the persistent NAS service daemon (durable job queue,
+  per-tenant quotas, shared worker pool; see :mod:`repro.service`);
+* ``submit`` / ``status`` / ``results`` / ``cancel`` / ``jobs`` /
+  ``drain`` — clients of a running daemon, JSON on stdout.
+
+Conventions: errors go to **stderr** with a non-zero exit code (1 for
+runtime/service failures, 2 for usage, 130 after a graceful SIGINT/
+SIGTERM stop); stdout carries only results.  SIGTERM/SIGINT during
+``search``/``search supervise`` finish the in-flight step, write a
+final checkpoint, and exit cleanly — rerun with ``--resume`` (or the
+supervisor) to continue.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -19,6 +30,8 @@ Run ``python -m repro <subcommand> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -27,12 +40,49 @@ import numpy as np
 from .analysis import format_report, format_table
 from .core import H2ONas, NasCostModel, PerformanceObjective, SearchConfig
 from .core.engine import BACKEND_NAMES
-from .data import CtrTaskConfig, CtrTeacher
 from .hardware import PLATFORMS, platform, simulate
 from .models import MbconvSpec, single_block_graph
 from .searchspace import per_block_cardinalities, table5_size_rows
-from .supernet import DlrmSuperNetwork, DlrmSupernetConfig
 from .searchspace import DlrmSpaceConfig, dlrm_search_space
+from .service.jobs import dlrm_search_builder
+from .service.protocol import ServiceError
+
+# Exit codes (stable, documented above): success / failure / usage /
+# graceful interrupt (128 + SIGINT, the shell convention).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 130
+
+
+class CliError(Exception):
+    """A handler-level failure with a chosen exit code (stderr, no trace)."""
+
+    def __init__(self, message: str, exit_code: int = EXIT_FAILURE):
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+def positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1, rejected at parse time (exit 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def nonnegative_int(text: str) -> int:
+    """Argparse type: an integer >= 0, rejected at parse time (exit 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def cmd_spaces(_args: argparse.Namespace) -> str:
@@ -100,61 +150,6 @@ def cmd_cost(args: argparse.Namespace) -> str:
     )
 
 
-def _dlrm_step_time(num_tables: int):
-    """Synthetic step-time pricing for the quickstart DLRM search."""
-
-    def step_time(arch):
-        cost = 1.0
-        for t in range(num_tables):
-            cost += 0.05 * arch[f"emb{t}/width_delta"]
-            cost += 0.15 * (arch[f"emb{t}/vocab_scale"] - 1.0)
-        for s in range(2):
-            cost += 0.04 * arch[f"dense{s}/width_delta"]
-        return {"step_time": max(0.1, cost)}
-
-    return step_time
-
-
-def _dlrm_search_builder(
-    steps: int,
-    seed: int,
-    use_cache: bool,
-    telemetry=None,
-    backend=None,
-    workers=None,
-):
-    """The quickstart DLRM search as (space, fresh-``H2ONas`` factory).
-
-    A *factory* rather than an instance because the supervisor rebuilds
-    the search from scratch on every restart attempt.  A shared
-    ``telemetry`` handle survives restarts — that is how churn counters
-    span attempts while run-scoped ones roll back with the checkpoint.
-    """
-    num_tables = 2
-    space = dlrm_search_space(DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2))
-
-    def factory() -> H2ONas:
-        teacher = CtrTeacher(
-            CtrTaskConfig(num_tables=num_tables, batch_size=64, seed=seed)
-        )
-        return H2ONas(
-            space=space,
-            supernet=DlrmSuperNetwork(
-                DlrmSupernetConfig(num_tables=num_tables, seed=seed)
-            ),
-            batch_source=teacher.next_batch,
-            performance_fn=_dlrm_step_time(num_tables),
-            objectives=[PerformanceObjective("step_time", 1.0, beta=-0.5)],
-            config=SearchConfig(
-                steps=steps, num_cores=4, warmup_steps=10, seed=seed,
-                use_cache=use_cache, telemetry=telemetry,
-                backend=backend, workers=workers,
-            ),
-        )
-
-    return space, factory
-
-
 def _make_telemetry(args: argparse.Namespace):
     """The run's shared Telemetry, if ``--telemetry-dir`` was given."""
     telemetry_dir = getattr(args, "telemetry_dir", None)
@@ -166,22 +161,31 @@ def _make_telemetry(args: argparse.Namespace):
 
 
 def cmd_search(args: argparse.Namespace) -> str:
+    from .runtime import GracefulShutdown, SearchInterrupted
+
     telemetry = _make_telemetry(args)
-    space, factory = _dlrm_search_builder(
+    space, factory = dlrm_search_builder(
         args.steps, args.seed, args.cache, telemetry=telemetry,
         backend=args.backend, workers=args.workers,
     )
     nas = factory()
-    result = nas.search(
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every=args.checkpoint_every,
-        resume=args.resume,
-    )
+    try:
+        with GracefulShutdown() as shutdown:
+            result = nas.search(
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                should_stop=shutdown.should_stop,
+            )
+    except SearchInterrupted as stop:
+        raise CliError(str(stop), EXIT_INTERRUPTED) from None
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     out = format_report(space, result)
     if result.eval_stats is not None:
         out += f"\neval runtime: {result.eval_stats.summary()}"
     if telemetry is not None:
-        telemetry.close()
         out += (
             f"\ntelemetry written to {args.telemetry_dir} "
             f"(view with: python -m repro report telemetry {args.telemetry_dir})"
@@ -194,12 +198,14 @@ def cmd_supervise(args: argparse.Namespace) -> str:
         CheckpointStore,
         FaultInjector,
         FaultSpec,
+        GracefulShutdown,
+        SearchInterrupted,
         SearchSupervisor,
         SupervisorConfig,
     )
 
     telemetry = _make_telemetry(args)
-    space, factory = _dlrm_search_builder(
+    space, factory = dlrm_search_builder(
         args.steps, args.seed, args.cache, telemetry=telemetry,
         backend=args.backend, workers=args.workers,
     )
@@ -212,17 +218,25 @@ def cmd_supervise(args: argparse.Namespace) -> str:
             [FaultSpec("crash", step=k) for k in args.inject_crash_at],
             seed=args.seed,
         )
-    supervisor = SearchSupervisor(
-        lambda: factory().search_algorithm,
-        store,
-        config=SupervisorConfig(
-            checkpoint_every=args.checkpoint_every,
-            max_restarts=args.max_restarts,
-            backoff_base_s=args.backoff_base_s,
-        ),
-        injector=injector,
-    )
-    supervised = supervisor.run()
+    try:
+        with GracefulShutdown() as shutdown:
+            supervisor = SearchSupervisor(
+                lambda: factory().search_algorithm,
+                store,
+                config=SupervisorConfig(
+                    checkpoint_every=args.checkpoint_every,
+                    max_restarts=args.max_restarts,
+                    backoff_base_s=args.backoff_base_s,
+                ),
+                injector=injector,
+                should_stop=shutdown.should_stop,
+            )
+            supervised = supervisor.run()
+    except SearchInterrupted as stop:
+        raise CliError(str(stop), EXIT_INTERRUPTED) from None
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     out = format_report(space, supervised.result)
     out += "\n" + format_table(
         ["attempt", "start step", "steps", "outcome", "backoff s"],
@@ -244,7 +258,6 @@ def cmd_supervise(args: argparse.Namespace) -> str:
         f"  snapshots (final attempt): {supervised.snapshots_written}"
     )
     if telemetry is not None:
-        telemetry.close()
         out += (
             f"\ntelemetry written to {args.telemetry_dir} "
             f"(view with: python -m repro report telemetry {args.telemetry_dir})"
@@ -255,6 +268,8 @@ def cmd_supervise(args: argparse.Namespace) -> str:
 def cmd_report_telemetry(args: argparse.Namespace) -> str:
     from .telemetry.report import render_report
 
+    if not pathlib.Path(args.directory).is_dir():
+        raise CliError(f"no telemetry directory at {args.directory}")
     return render_report(args.directory).rstrip("\n")
 
 
@@ -309,6 +324,100 @@ def cmd_perfmodel(args: argparse.Namespace) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# Service subcommands
+# ----------------------------------------------------------------------
+def _resolve_socket(args: argparse.Namespace) -> str:
+    """Socket path from ``--socket`` or ``--spool`` (usage error if neither)."""
+    from .service.daemon import SOCKET_NAME
+
+    if getattr(args, "socket", None):
+        return args.socket
+    if getattr(args, "spool", None):
+        return str(pathlib.Path(args.spool) / SOCKET_NAME)
+    raise CliError(
+        "provide --socket PATH or --spool DIR to locate the daemon", EXIT_USAGE
+    )
+
+
+def _client(args: argparse.Namespace):
+    from .service.client import ServiceClient
+
+    return ServiceClient(_resolve_socket(args), timeout=args.timeout)
+
+
+def cmd_serve(args: argparse.Namespace) -> str:
+    from .service.daemon import DaemonConfig, ServiceDaemon
+    from .service.scheduler import SchedulerConfig
+
+    config = DaemonConfig(
+        spool=args.spool,
+        socket_path=args.socket,
+        scheduler=SchedulerConfig(
+            max_concurrent=args.max_concurrent,
+            max_queue_depth=args.max_queue_depth,
+            tenant_max_running=args.tenant_max_running,
+            tenant_max_queued=args.tenant_max_queued,
+            backend=args.backend,
+            workers=args.workers,
+        ),
+    )
+    daemon = ServiceDaemon(config)
+    print(
+        f"repro service daemon listening on {daemon.socket_path} "
+        f"(spool: {daemon.spool})",
+        file=sys.stderr,
+        flush=True,
+    )
+    summary = daemon.serve()
+    return "drained: " + json.dumps(summary, sort_keys=True)
+
+
+def cmd_submit(args: argparse.Namespace) -> str:
+    client = _client(args)
+    spec = {
+        "kind": "dlrm_quickstart",
+        "steps": args.steps,
+        "seed": args.seed,
+        "cache": args.cache,
+        "checkpoint_every": args.checkpoint_every,
+        "step_sleep_s": args.step_sleep_s,
+    }
+    record = client.submit(args.tenant, spec)
+    if args.wait:
+        record = client.wait(record["job_id"], timeout=args.timeout)
+        if record["state"] != "done":
+            print(json.dumps(record, indent=2, sort_keys=True))
+            raise CliError(
+                f"{record['job_id']} finished as {record['state']}"
+                + (f": {record['error']}" if record.get("error") else "")
+            )
+    return json.dumps(record, indent=2, sort_keys=True)
+
+
+def cmd_status(args: argparse.Namespace) -> str:
+    return json.dumps(_client(args).status(args.job_id), indent=2, sort_keys=True)
+
+
+def cmd_results(args: argparse.Namespace) -> str:
+    return json.dumps(_client(args).results(args.job_id), indent=2, sort_keys=True)
+
+
+def cmd_cancel(args: argparse.Namespace) -> str:
+    return json.dumps(_client(args).cancel(args.job_id), indent=2, sort_keys=True)
+
+
+def cmd_jobs(args: argparse.Namespace) -> str:
+    records = _client(args).list_jobs(
+        tenant=args.tenant, states=args.state if args.state else None
+    )
+    return json.dumps(records, indent=2, sort_keys=True)
+
+
+def cmd_drain(args: argparse.Namespace) -> str:
+    return json.dumps(_client(args).drain(), indent=2, sort_keys=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,20 +433,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     roofline = sub.add_parser("roofline", help="MBConv vs fused MBConv on a platform")
     roofline.add_argument("--platform", default="tpu_v4i", choices=sorted(PLATFORMS))
-    roofline.add_argument("--depth", type=int, default=64)
-    roofline.add_argument("--resolution", type=int, default=56)
-    roofline.add_argument("--batch", type=int, default=64)
+    roofline.add_argument("--depth", type=positive_int, default=64)
+    roofline.add_argument("--resolution", type=positive_int, default=56)
+    roofline.add_argument("--batch", type=positive_int, default=64)
     roofline.set_defaults(handler=cmd_roofline)
 
     cost = sub.add_parser("cost", help="Section 7.3 cost accounting")
     cost.add_argument("--training-hours", type=float, default=1000.0)
-    cost.add_argument("--trials", type=int, default=100)
+    cost.add_argument("--trials", type=positive_int, default=100)
     cost.set_defaults(handler=cmd_cost)
 
     search = sub.add_parser("search", help="small end-to-end DLRM search")
 
     def add_search_args(p, checkpoint_dir_required: bool) -> None:
-        p.add_argument("--steps", type=int, default=60)
+        p.add_argument("--steps", type=positive_int, default=60)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
             "--cache",
@@ -353,13 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--checkpoint-every",
-            type=int,
+            type=positive_int,
             default=10,
             help="steps between snapshots",
         )
         p.add_argument(
             "--keep-last",
-            type=int,
+            type=positive_int,
             default=3,
             help="snapshots retained in the checkpoint directory",
         )
@@ -380,10 +489,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--workers",
-            type=int,
+            type=positive_int,
             default=None,
             help="worker count for --backend threads/processes "
-            "(default: $REPRO_WORKERS, then min(4, cpu cores))",
+            "(default: $REPRO_WORKERS, then min(4, cpu cores)); must be >= 1",
         )
 
     add_search_args(search, checkpoint_dir_required=False)
@@ -404,7 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_search_args(supervise, checkpoint_dir_required=True)
     supervise.add_argument(
         "--max-restarts",
-        type=int,
+        type=nonnegative_int,
         default=5,
         help="restart budget before giving up",
     )
@@ -441,25 +550,150 @@ def build_parser() -> argparse.ArgumentParser:
     perfmodel = sub.add_parser(
         "perfmodel", help="two-phase performance-model training (Table 1, small)"
     )
-    perfmodel.add_argument("--samples", type=int, default=2000)
-    perfmodel.add_argument("--tables", type=int, default=4)
-    perfmodel.add_argument("--epochs", type=int, default=30)
+    perfmodel.add_argument("--samples", type=positive_int, default=2000)
+    perfmodel.add_argument("--tables", type=positive_int, default=4)
+    perfmodel.add_argument("--epochs", type=positive_int, default=30)
     perfmodel.add_argument("--seed", type=int, default=0)
     perfmodel.add_argument(
         "--jobs",
-        type=int,
+        type=positive_int,
         default=1,
         help="worker threads for the simulator sweep (1 = serial; the "
         "sweep is order-preserving, so results match at any count)",
     )
     perfmodel.set_defaults(handler=cmd_perfmodel)
+
+    # -- service ---------------------------------------------------------
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent NAS service daemon (durable queue, "
+        "quotas, shared worker pool); SIGTERM drains gracefully",
+    )
+    serve.add_argument(
+        "--spool",
+        required=True,
+        help="service state directory (job records, per-job runs, socket)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        help="Unix socket path (default: <spool>/daemon.sock)",
+    )
+    serve.add_argument("--max-concurrent", type=positive_int, default=2,
+                       help="searches running simultaneously")
+    serve.add_argument("--max-queue-depth", type=positive_int, default=64,
+                       help="queued jobs across all tenants before rejects")
+    serve.add_argument("--tenant-max-running", type=positive_int, default=2,
+                       help="running jobs one tenant may hold")
+    serve.add_argument("--tenant-max-queued", type=positive_int, default=8,
+                       help="queued jobs one tenant may hold")
+    serve.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="execution backend for shard fan-out inside each job "
+        "(default: $REPRO_BACKEND, then serial)",
+    )
+    serve.add_argument("--workers", type=positive_int, default=None,
+                       help="worker-pool size for pooled backends; must be >= 1")
+    serve.set_defaults(handler=cmd_serve)
+
+    def add_client_args(p) -> None:
+        p.add_argument("--socket", default=None, help="daemon socket path")
+        p.add_argument(
+            "--spool", default=None,
+            help="daemon spool dir (socket defaults to <spool>/daemon.sock)",
+        )
+        p.add_argument("--timeout", type=float, default=60.0,
+                       help="client timeout in seconds")
+
+    submit = sub.add_parser("submit", help="submit a search job to the daemon")
+    add_client_args(submit)
+    submit.add_argument("--tenant", default="default", help="tenant the job bills to")
+    submit.add_argument("--steps", type=positive_int, default=20)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="memoize candidate pricing (--no-cache to disable)",
+    )
+    submit.add_argument("--checkpoint-every", type=positive_int, default=1,
+                        help="steps between the job's durable snapshots")
+    submit.add_argument("--step-sleep-s", type=float, default=0.0,
+                        help="artificial per-step latency (testing/benchmarks)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job reaches a terminal state")
+    submit.set_defaults(handler=cmd_submit)
+
+    status = sub.add_parser("status", help="show one job's record")
+    add_client_args(status)
+    status.add_argument("job_id")
+    status.set_defaults(handler=cmd_status)
+
+    results = sub.add_parser("results", help="fetch a done job's results payload")
+    add_client_args(results)
+    results.add_argument("job_id")
+    results.set_defaults(handler=cmd_results)
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a job (queued: now; running: at its next step "
+        "boundary, after a final checkpoint)",
+    )
+    add_client_args(cancel)
+    cancel.add_argument("job_id")
+    cancel.set_defaults(handler=cmd_cancel)
+
+    jobs = sub.add_parser("jobs", help="list jobs (optionally filtered)")
+    add_client_args(jobs)
+    jobs.add_argument("--tenant", default=None)
+    jobs.add_argument(
+        "--state", action="append", default=None, metavar="STATE",
+        help="filter by state (repeatable): queued/running/done/failed/cancelled",
+    )
+    jobs.set_defaults(handler=cmd_jobs)
+
+    drain = sub.add_parser(
+        "drain",
+        help="gracefully stop the daemon: no new admissions, running "
+        "jobs checkpoint and re-queue, then the daemon exits",
+    )
+    add_client_args(drain)
+    drain.set_defaults(handler=cmd_drain)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    print(args.handler(args))
-    return 0
+    try:
+        out = args.handler(args)
+    except CliError as error:
+        print(f"error: {error}" if error.exit_code != EXIT_INTERRUPTED
+              else f"interrupted: {error}", file=sys.stderr)
+        return error.exit_code
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_FAILURE
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (ValueError, OSError, RuntimeError) as error:
+        # Operational failures (bad paths, corrupt artifacts, exhausted
+        # restart budgets) are reported, not stack-traced; genuine bugs
+        # (TypeError, KeyError, ...) still traceback loudly.
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return EXIT_FAILURE
+    if out:
+        try:
+            print(out)
+            sys.stdout.flush()
+        except BrokenPipeError:
+            # Reader (e.g. `head`) closed the pipe; silence the
+            # interpreter's exit-time flush and exit quietly.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,6 +63,7 @@ class H2ONas:
         checkpoint_every: int = 10,
         resume: bool = True,
         keep_last: int = 3,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> SearchResult:
         """Run the search and return the Pareto-optimized architecture.
 
@@ -74,17 +75,27 @@ class H2ONas:
         when ``resume`` is set, restores from the newest good snapshot
         before running — a resumed search is bit-identical to an
         uninterrupted one.
+
+        ``should_stop`` enables graceful shutdown: polled at every step
+        boundary, and when true the run writes a final checkpoint (if a
+        ``checkpoint_dir`` is set) and raises
+        :class:`~repro.runtime.errors.SearchInterrupted`.
         """
-        if checkpoint_dir is None:
+        if checkpoint_dir is None and should_stop is None:
             return self.search_algorithm.run()
         from ..runtime import CheckpointStore, run_with_checkpoints
 
-        store = CheckpointStore(checkpoint_dir, keep_last=keep_last)
+        store = (
+            CheckpointStore(checkpoint_dir, keep_last=keep_last)
+            if checkpoint_dir is not None
+            else None
+        )
         run = run_with_checkpoints(
             self.search_algorithm,
             store=store,
             checkpoint_every=checkpoint_every,
             resume=resume,
+            should_stop=should_stop,
         )
         return run.result
 

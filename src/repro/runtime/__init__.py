@@ -35,7 +35,13 @@ from .checkpoint import (
     supernet_state,
     unpack_state,
 )
-from .errors import NON_RETRYABLE_TYPES, WorkerCrashError, classify_error, is_retryable
+from .errors import (
+    NON_RETRYABLE_TYPES,
+    SearchInterrupted,
+    WorkerCrashError,
+    classify_error,
+    is_retryable,
+)
 from .faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -45,6 +51,7 @@ from .faults import (
     InjectedFault,
 )
 from .recovery import LoadedSnapshot, ResumeReport, resume_latest, resume_search
+from .signals import GracefulShutdown
 from .supervisor import (
     AttemptRecord,
     CheckpointedRun,
@@ -70,9 +77,11 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "FiredFault",
+    "GracefulShutdown",
     "InjectedCrash",
     "InjectedFault",
     "LoadedSnapshot",
+    "SearchInterrupted",
     "RestartBudgetExceeded",
     "ResumeReport",
     "SearchSupervisor",

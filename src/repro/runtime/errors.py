@@ -40,6 +40,32 @@ NON_RETRYABLE_TYPES: Tuple[Type[BaseException], ...] = (
 )
 
 
+class SearchInterrupted(Exception):
+    """A run stopped cooperatively at a step boundary, not a crash.
+
+    Raised by :func:`~repro.runtime.supervisor.run_with_checkpoints`
+    when its ``should_stop`` callback turns true: the in-flight step is
+    finished, a final checkpoint is written (when a store is attached),
+    and *then* this is raised.  Deliberately not a ``RuntimeError`` —
+    the supervisor re-raises it untouched instead of burning a restart,
+    and the service scheduler uses it to distinguish a drained or
+    cancelled job (resumable from its checkpoint) from a failed one.
+    """
+
+    def __init__(self, step: int, checkpoint_written: bool):
+        self.step = int(step)
+        self.checkpoint_written = bool(checkpoint_written)
+        detail = (
+            f"search stopped after step {self.step}"
+            + (
+                "; final checkpoint written, rerun with resume to continue"
+                if self.checkpoint_written
+                else " (no checkpoint store attached)"
+            )
+        )
+        super().__init__(detail)
+
+
 class WorkerCrashError(RuntimeError):
     """A backend lost worker processes beyond its resubmission budget.
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Set
 
 from .checkpoint import CheckpointStore, search_checkpoint_payload
-from .errors import is_retryable
+from .errors import SearchInterrupted, is_retryable
 from .faults import FaultInjector
 from .recovery import ResumeReport, resume_search
 
@@ -41,6 +41,7 @@ def run_with_checkpoints(
     resume: bool = True,
     injector: Optional[FaultInjector] = None,
     on_step: Optional[Callable[[int], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> CheckpointedRun:
     """Run ``search`` to completion, snapshotting periodically.
 
@@ -50,6 +51,13 @@ def run_with_checkpoints(
     completed steps; with ``resume=True`` the run first restores from
     the newest good snapshot.  ``on_step`` fires after each completed
     step (heartbeats), ``injector`` hooks in scheduled faults.
+
+    ``should_stop`` is the graceful-shutdown hook (see
+    :mod:`repro.runtime.signals`): polled after every completed step,
+    and when it turns true the loop writes a final off-interval
+    snapshot (when a ``store`` is attached) and raises
+    :class:`~repro.runtime.errors.SearchInterrupted` — never killing a
+    step midway, never losing completed work.
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
@@ -80,9 +88,19 @@ def run_with_checkpoints(
         if injector is not None:
             injector.after_step(step)
         done = step + 1
+        snapshotted = False
         if store is not None and done % checkpoint_every == 0 and done < total_steps:
             store.save(done, search_checkpoint_payload(search, done, history))
             written += 1
+            snapshotted = True
+        if should_stop is not None and done < total_steps and should_stop():
+            if store is not None and not snapshotted:
+                store.save(done, search_checkpoint_payload(search, done, history))
+                written += 1
+            if telemetry is not None:
+                telemetry.event("supervisor.interrupted", step=done)
+                telemetry.flush()
+            raise SearchInterrupted(step=done, checkpoint_written=store is not None)
     return CheckpointedRun(
         result=search.build_result(history), resume=report, snapshots_written=written
     )
@@ -157,12 +175,14 @@ class SearchSupervisor:
         config: Optional[SupervisorConfig] = None,
         injector: Optional[FaultInjector] = None,
         sleep_fn: Callable[[float], None] = time.sleep,
+        should_stop: Optional[Callable[[], bool]] = None,
     ):
         self._factory = search_factory
         self._store = store
         self.config = config if config is not None else SupervisorConfig()
         self._injector = injector
         self._sleep = sleep_fn
+        self._should_stop = should_stop
 
     def run(self) -> SupervisedResult:
         attempts: List[AttemptRecord] = []
@@ -196,7 +216,13 @@ class SearchSupervisor:
                     checkpoint_every=self.config.checkpoint_every,
                     injector=self._injector,
                     on_step=beat,
+                    should_stop=self._should_stop,
                 )
+            except SearchInterrupted:
+                # A graceful shutdown is not a crash: the final
+                # checkpoint is on disk, so surface it untouched
+                # instead of burning a restart replaying the run.
+                raise
             except Exception as error:  # noqa: BLE001 - classified below
                 retryable = is_retryable(error)
                 telemetry = getattr(search, "telemetry", None)

@@ -1,0 +1,136 @@
+"""Client for the NAS service: one request-response per connection.
+
+:class:`ServiceClient` is what the ``repro submit/status/results/
+cancel/jobs/drain`` subcommands (and tests, and the benchmark) use to
+talk to a running daemon.  Connection failures surface as
+:class:`~repro.service.protocol.DaemonUnavailableError`; every
+daemon-side rejection re-raises as its typed
+:class:`~repro.service.protocol.ServiceError` subclass.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import socket
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from .protocol import (
+    DaemonUnavailableError,
+    ProtocolError,
+    ResultsNotReadyError,
+    decode_response,
+    encode_request,
+    raise_for_response,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+
+class ServiceClient:
+    """Thin synchronous client over the Unix-socket NDJSON protocol."""
+
+    def __init__(self, socket_path: PathLike, timeout: float = 30.0):
+        self.socket_path = pathlib.Path(socket_path)
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def request(self, verb: str, **args: Any) -> Any:
+        """Send one request, return the response ``data`` or raise typed."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            try:
+                sock.connect(str(self.socket_path))
+            except (FileNotFoundError, ConnectionRefusedError, OSError) as error:
+                raise DaemonUnavailableError(
+                    f"no daemon reachable at {self.socket_path} ({error}); "
+                    f"start one with: repro serve --spool <dir>"
+                ) from None
+            sock.sendall(encode_request(verb, args))
+            line = self._read_line(sock)
+        finally:
+            sock.close()
+        if not line:
+            raise ProtocolError("daemon closed the connection without replying")
+        return raise_for_response(decode_response(line))
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> bytes:
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if b"\n" in chunk:
+                break
+        return b"".join(chunks).split(b"\n", 1)[0]
+
+    # -- verbs ----------------------------------------------------------
+    def submit(self, tenant: str, spec: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self.request("submit", tenant=tenant, spec=spec or {})
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("status", job_id=job_id)
+
+    def list_jobs(
+        self,
+        tenant: Optional[str] = None,
+        states: Optional[List[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        return self.request("list", tenant=tenant, states=states)
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        return self.request("results", job_id=job_id)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("cancel", job_id=job_id)
+
+    def drain(self) -> Dict[str, Any]:
+        return self.request("drain")
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    # -- polling helpers ------------------------------------------------
+    def wait_ready(self, timeout: float = 10.0, poll_s: float = 0.05) -> Dict[str, Any]:
+        """Block until the daemon answers ``ping`` (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.ping()
+            except DaemonUnavailableError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_s)
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll_s: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll ``status`` until the job reaches a terminal state."""
+        from .queue import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {record['state']} after {timeout:.0f}s "
+                    f"(progress: step {record['progress']})"
+                )
+            time.sleep(poll_s)
+
+    def wait_results(
+        self, job_id: str, timeout: float = 120.0, poll_s: float = 0.05
+    ) -> Dict[str, Any]:
+        """Wait for ``done`` and fetch the results payload."""
+        record = self.wait(job_id, timeout=timeout, poll_s=poll_s)
+        if record["state"] != "done":
+            raise ResultsNotReadyError(
+                f"{job_id} finished as {record['state']}"
+                + (f": {record['error']}" if record.get("error") else "")
+            )
+        return self.results(job_id)

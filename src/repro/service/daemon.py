@@ -1,0 +1,299 @@
+"""The ``repro serve`` daemon: a Unix-socket front end over the scheduler.
+
+One long-lived process per spool directory.  Startup recovers the
+spool (re-queueing jobs a dead daemon left ``running``), starts the
+scheduler, binds ``<spool>/daemon.sock`` (or ``--socket``), and serves
+one newline-delimited JSON request per connection on a small accept
+loop — a deliberately boring server: no event loop, no dependencies,
+each connection handled on its own short-lived thread.
+
+Shutdown is always a *drain*: whether triggered by the ``drain`` verb
+or by SIGTERM/SIGINT (via :class:`~repro.runtime.signals
+.GracefulShutdown`), the daemon stops admitting, parks running jobs at
+their next step boundary with a final checkpoint (they return to
+``queued``), seals its telemetry, removes the socket, and exits.  A
+SIGKILL skips all of that by definition — which is fine: the spool's
+atomic job records and each job's checkpoint store are the durability
+story, and the next start resumes every interrupted job
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from ..runtime.atomic import atomic_write_json
+from ..runtime.signals import GracefulShutdown
+from .jobs import load_results
+from .protocol import (
+    ProtocolError,
+    ResultsNotReadyError,
+    ServiceError,
+    JobStateError,
+    decode_request,
+    error_response,
+    ok_response,
+)
+from .queue import JobQueue, TERMINAL_STATES
+from .scheduler import JobScheduler, SchedulerConfig
+
+PathLike = Union[str, pathlib.Path]
+
+SOCKET_NAME = "daemon.sock"
+DAEMON_INFO_NAME = "daemon.json"
+TELEMETRY_DIRNAME = "telemetry"
+
+#: Largest request line the daemon will read (a submit is < 1 KiB).
+MAX_REQUEST_BYTES = 1 << 20
+
+
+@dataclass
+class DaemonConfig:
+    """Everything ``repro serve`` can set."""
+
+    spool: PathLike
+    socket_path: Optional[PathLike] = None
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: accept-loop wake-up; bounds signal-to-drain latency
+    accept_timeout_s: float = 0.2
+
+    def resolved_socket(self) -> pathlib.Path:
+        if self.socket_path is not None:
+            return pathlib.Path(self.socket_path)
+        return pathlib.Path(self.spool) / SOCKET_NAME
+
+
+class ServiceDaemon:
+    """Accept loop + verb dispatch over a :class:`JobScheduler`."""
+
+    def __init__(self, config: DaemonConfig):
+        self.config = config
+        self.spool = pathlib.Path(config.spool)
+        self.spool.mkdir(parents=True, exist_ok=True)
+        from ..telemetry import Telemetry
+
+        #: the daemon's own stream (service.* metrics, lifecycle events)
+        #: — distinct from the per-job streams under ``runs/<job>/``
+        self.telemetry = Telemetry(self.spool / TELEMETRY_DIRNAME)
+        self.queue = JobQueue(self.spool)
+        self.scheduler = JobScheduler(
+            self.queue, config.scheduler, telemetry=self.telemetry
+        )
+        self.socket_path = config.resolved_socket()
+        self._listener: Optional[socket.socket] = None
+        self._shutdown = GracefulShutdown()
+        self._started_monotonic: Optional[float] = None
+
+    # -- socket lifecycle ----------------------------------------------
+    def _bind(self) -> socket.socket:
+        path = self.socket_path
+        if path.exists():
+            # Either a live daemon (refuse) or the leftover of a killed
+            # one (clean up and take over).
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(0.5)
+                probe.connect(str(path))
+            except OSError:
+                path.unlink()
+            else:
+                probe.close()
+                raise ServiceError(
+                    f"another daemon is already listening on {path}"
+                )
+            finally:
+                probe.close()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(path))
+        listener.listen(16)
+        listener.settimeout(self.config.accept_timeout_s)
+        return listener
+
+    # -- main loop ------------------------------------------------------
+    def serve(self) -> Dict[str, Any]:
+        """Run until drained; returns the final stats summary.
+
+        Installs SIGTERM/SIGINT handlers when called from the main
+        thread; a background-thread daemon (tests) is drained via the
+        ``drain`` verb or :meth:`request_drain`.
+        """
+        self._started_monotonic = time.monotonic()
+        with self._shutdown:
+            recovered = self.scheduler.start()
+            self._listener = self._bind()
+            atomic_write_json(
+                self.spool / DAEMON_INFO_NAME,
+                {
+                    "pid": os.getpid(),
+                    "socket": str(self.socket_path),
+                    "started_at": time.time(),
+                    "recovered_jobs": [r.job_id for r in recovered],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            self.telemetry.event(
+                "service.daemon_started",
+                pid=os.getpid(),
+                recovered=[r.job_id for r in recovered],
+            )
+            self.telemetry.flush()
+            try:
+                while not self._shutdown.requested:
+                    try:
+                        conn, _addr = self._listener.accept()
+                    except socket.timeout:
+                        continue
+                    except OSError:
+                        break
+                    threading.Thread(
+                        target=self._serve_connection,
+                        args=(conn,),
+                        name="repro-service-conn",
+                        daemon=True,
+                    ).start()
+            finally:
+                summary = self._drain_and_close()
+        return summary
+
+    def request_drain(self) -> None:
+        """Programmatic drain trigger (the ``drain`` verb, tests)."""
+        self._shutdown.request()
+
+    def _drain_and_close(self) -> Dict[str, Any]:
+        interrupted = self.scheduler.drain()
+        stats = self.scheduler.stats()
+        stats["interrupted"] = interrupted
+        self.telemetry.event("service.daemon_stopped", **stats)
+        self.telemetry.close()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+        return stats
+
+    # -- per-connection handling ---------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(10.0)
+                line = self._read_line(conn)
+                try:
+                    verb, args = decode_request(line)
+                    data = self._dispatch(verb, args)
+                except ServiceError as error:
+                    conn.sendall(error_response(error))
+                else:
+                    conn.sendall(ok_response(data))
+        except OSError:
+            pass  # client went away mid-exchange; nothing to clean up
+
+    @staticmethod
+    def _read_line(conn: socket.socket) -> bytes:
+        chunks = []
+        total = 0
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+            if b"\n" in chunk:
+                break
+            if total > MAX_REQUEST_BYTES:
+                raise ProtocolError("request line exceeds 1 MiB")
+        return b"".join(chunks).split(b"\n", 1)[0]
+
+    # -- verbs ----------------------------------------------------------
+    def _dispatch(self, verb: str, args: Dict[str, Any]) -> Any:
+        if verb == "submit":
+            tenant = args.get("tenant")
+            if not tenant or not isinstance(tenant, str):
+                raise ProtocolError("submit requires a non-empty 'tenant' string")
+            record = self.scheduler.submit(tenant, args.get("spec") or {})
+            return record.to_dict()
+        if verb == "status":
+            return self.queue.get(self._job_id(args)).to_dict()
+        if verb == "list":
+            states = args.get("states")
+            return [
+                r.to_dict()
+                for r in self.queue.list(tenant=args.get("tenant"), states=states)
+            ]
+        if verb == "results":
+            record = self.queue.get(self._job_id(args))
+            if record.state == "failed":
+                raise JobStateError(
+                    f"{record.job_id} failed: {record.error or 'unknown error'}"
+                )
+            if record.state != "done":
+                raise ResultsNotReadyError(
+                    f"{record.job_id} is {record.state}; results exist once "
+                    f"it reaches done"
+                )
+            payload = load_results(self.queue.run_dir(record.job_id))
+            if payload is None:
+                raise ResultsNotReadyError(
+                    f"{record.job_id} is done but results.json is missing"
+                )
+            return payload
+        if verb == "cancel":
+            return self.scheduler.cancel(self._job_id(args)).to_dict()
+        if verb == "drain":
+            stats = self.scheduler.stats()
+            stats["draining"] = True
+            self.request_drain()
+            return stats
+        if verb == "ping":
+            stats = self.scheduler.stats()
+            stats.update(
+                pid=os.getpid(),
+                uptime_s=(
+                    time.monotonic() - self._started_monotonic
+                    if self._started_monotonic is not None
+                    else 0.0
+                ),
+                spool=str(self.spool),
+            )
+            return stats
+        raise ProtocolError(f"verb {verb!r} reached dispatch without a handler")
+
+    @staticmethod
+    def _job_id(args: Dict[str, Any]) -> str:
+        job_id = args.get("job_id")
+        if not job_id or not isinstance(job_id, str):
+            raise ProtocolError("this verb requires a 'job_id' string")
+        return job_id
+
+
+def serve(
+    spool: PathLike,
+    socket_path: Optional[PathLike] = None,
+    scheduler: Optional[SchedulerConfig] = None,
+) -> Dict[str, Any]:
+    """Convenience entry: build a daemon from parts and run it."""
+    config = DaemonConfig(
+        spool=spool,
+        socket_path=socket_path,
+        scheduler=scheduler if scheduler is not None else SchedulerConfig(),
+    )
+    return ServiceDaemon(config).serve()
+
+
+__all__ = [
+    "DaemonConfig",
+    "ServiceDaemon",
+    "SOCKET_NAME",
+    "TERMINAL_STATES",
+    "serve",
+]

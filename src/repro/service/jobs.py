@@ -1,0 +1,287 @@
+"""Job specs and job execution: what one queue entry actually runs.
+
+A job is a parameterized search: a validated :class:`JobSpec` (the
+dict a client submits), a factory building the search from it, and
+:func:`run_job`, which drives the search under
+:func:`~repro.runtime.supervisor.run_with_checkpoints` inside the
+job's private run directory::
+
+    <spool>/runs/<job_id>/checkpoints/   resumable snapshots
+    <spool>/runs/<job_id>/telemetry/     per-job metrics + event stream
+    <spool>/runs/<job_id>/results.json   final payload, atomic write
+
+Results carry a canonical SHA-256 ``fingerprint`` over the
+numerics-bearing fields (rewards, entropies, final architecture,
+cache counters).  Because checkpointed, resumed, and backend-pooled
+runs are all bit-identical to a one-shot serial run, a service job's
+fingerprint must equal :func:`one_shot_payload` of the same spec — the
+property the durability test and the service benchmark assert.
+
+The quickstart DLRM builder lives here (not in the CLI) so the daemon,
+the CLI's ``search``/``supervise`` commands, and the benchmarks share
+one definition of the workload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..runtime.atomic import atomic_write_json
+from .protocol import JobSpecError
+
+RESULTS_NAME = "results.json"
+CHECKPOINTS_DIRNAME = "checkpoints"
+TELEMETRY_DIRNAME = "telemetry"
+
+#: Result payload layout version.
+RESULTS_SCHEMA = 1
+
+#: Known job kinds -> builder. One kind today; the registry is the
+#: extension point for new workloads (LM serving space, Pareto sweeps).
+JOB_KINDS = ("dlrm_quickstart",)
+
+
+# ----------------------------------------------------------------------
+# The quickstart DLRM workload (shared with the CLI)
+# ----------------------------------------------------------------------
+def dlrm_step_time(num_tables: int):
+    """Synthetic step-time pricing for the quickstart DLRM search."""
+
+    def step_time(arch):
+        cost = 1.0
+        for t in range(num_tables):
+            cost += 0.05 * arch[f"emb{t}/width_delta"]
+            cost += 0.15 * (arch[f"emb{t}/vocab_scale"] - 1.0)
+        for s in range(2):
+            cost += 0.04 * arch[f"dense{s}/width_delta"]
+        return {"step_time": max(0.1, cost)}
+
+    return step_time
+
+
+def dlrm_search_builder(
+    steps: int,
+    seed: int,
+    use_cache: bool,
+    telemetry=None,
+    backend=None,
+    workers=None,
+):
+    """The quickstart DLRM search as ``(space, fresh-H2ONas factory)``.
+
+    A *factory* rather than an instance because the supervisor and the
+    service scheduler rebuild the search from scratch on every restart
+    attempt.  A shared ``telemetry`` handle survives restarts — that is
+    how churn counters span attempts while run-scoped ones roll back
+    with the checkpoint.
+    """
+    from ..core import H2ONas, PerformanceObjective, SearchConfig
+    from ..data import CtrTaskConfig, CtrTeacher
+    from ..searchspace import DlrmSpaceConfig, dlrm_search_space
+    from ..supernet import DlrmSuperNetwork, DlrmSupernetConfig
+
+    num_tables = 2
+    space = dlrm_search_space(DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2))
+
+    def factory() -> "H2ONas":
+        teacher = CtrTeacher(
+            CtrTaskConfig(num_tables=num_tables, batch_size=64, seed=seed)
+        )
+        return H2ONas(
+            space=space,
+            supernet=DlrmSuperNetwork(
+                DlrmSupernetConfig(num_tables=num_tables, seed=seed)
+            ),
+            batch_source=teacher.next_batch,
+            performance_fn=dlrm_step_time(num_tables),
+            objectives=[PerformanceObjective("step_time", 1.0, beta=-0.5)],
+            config=SearchConfig(
+                steps=steps, num_cores=4, warmup_steps=10, seed=seed,
+                use_cache=use_cache, telemetry=telemetry,
+                backend=backend, workers=workers,
+            ),
+        )
+
+    return space, factory
+
+
+# ----------------------------------------------------------------------
+# Job spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """Validated search parameters a client may submit."""
+
+    kind: str = "dlrm_quickstart"
+    steps: int = 20
+    seed: int = 0
+    cache: bool = True
+    #: steps between durable snapshots while the job runs; 1 maximizes
+    #: resumability (at most one step is ever replayed after a kill)
+    checkpoint_every: int = 1
+    #: artificial per-step latency, applied *outside* the search step
+    #: (telemetry/scheduling only — numerics are untouched).  Models an
+    #: attached-accelerator or testbed wait; also what lets tests hold a
+    #: job in ``running`` long enough to kill the daemon under it.
+    step_sleep_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise JobSpecError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if not isinstance(self.steps, int) or self.steps < 1:
+            raise JobSpecError("spec.steps must be an integer >= 1")
+        if not isinstance(self.seed, int):
+            raise JobSpecError("spec.seed must be an integer")
+        if not isinstance(self.checkpoint_every, int) or self.checkpoint_every < 1:
+            raise JobSpecError("spec.checkpoint_every must be an integer >= 1")
+        if self.step_sleep_s < 0:
+            raise JobSpecError("spec.step_sleep_s must be >= 0")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise JobSpecError("spec must be a JSON object")
+        unknown = set(payload) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise JobSpecError(
+                f"unknown spec fields {sorted(unknown)}; "
+                f"allowed: {sorted(cls.__dataclass_fields__)}"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise JobSpecError(f"bad spec: {error}") from None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "steps": self.steps,
+            "seed": self.seed,
+            "cache": self.cache,
+            "checkpoint_every": self.checkpoint_every,
+            "step_sleep_s": self.step_sleep_s,
+        }
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def _scalar(value: Any) -> Any:
+    """Canonical JSON scalar: bools/ints/strs pass, numerics to float."""
+    if isinstance(value, (bool, int, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _scalar(value.item())
+    return float(value)
+
+
+def result_payload(space: Any, result: Any) -> Dict[str, Any]:
+    """Canonical, fingerprinted JSON payload for a ``SearchResult``."""
+    stats = result.eval_stats
+    body: Dict[str, Any] = {
+        "schema": RESULTS_SCHEMA,
+        "steps": len(result.history),
+        "rewards": [float(r) for r in result.rewards()],
+        "entropies": [float(e) for e in result.entropies()],
+        "final_architecture": {
+            name: _scalar(value) for name, value in result.final_architecture.items()
+        },
+        "final_architecture_indices": [
+            int(i) for i in space.indices_of(result.final_architecture)
+        ],
+        "batches_used": int(result.batches_used),
+        "cache_hits": int(stats.cache_hits) if stats is not None else 0,
+        "cache_misses": int(stats.cache_misses) if stats is not None else 0,
+    }
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return {**body, "fingerprint": digest}
+
+
+def one_shot_payload(spec: JobSpec, backend: Optional[str] = None) -> Dict[str, Any]:
+    """The payload an uninterrupted one-shot run of ``spec`` produces.
+
+    The reference for bit-identity checks: a service job — checkpointed,
+    possibly killed and resumed, possibly pooled over shared workers —
+    must fingerprint-match this.
+    """
+    space, factory = dlrm_search_builder(
+        spec.steps, spec.seed, spec.cache, backend=backend
+    )
+    return result_payload(space, factory().search())
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_job(
+    record: Any,
+    run_dir: pathlib.Path,
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_step: Optional[Callable[[int], None]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    sleep_fn: Callable[[float], None] = time.sleep,
+) -> Dict[str, Any]:
+    """Run one job to completion (or a graceful stop) in ``run_dir``.
+
+    Resumes from the job's newest checkpoint when one exists — the
+    scheduler calls this identically for fresh, recovered, and drained
+    jobs.  Raises :class:`~repro.runtime.errors.SearchInterrupted` when
+    ``should_stop`` fires (final checkpoint already written), and
+    returns the fingerprinted results payload (also written atomically
+    to ``results.json``) on completion.
+    """
+    from ..runtime import CheckpointStore, run_with_checkpoints
+    from ..telemetry import Telemetry
+
+    spec = JobSpec.from_dict(record.spec)
+    run_dir = pathlib.Path(run_dir)
+    telemetry = Telemetry(run_dir / TELEMETRY_DIRNAME)
+    try:
+        space, factory = dlrm_search_builder(
+            spec.steps,
+            spec.seed,
+            spec.cache,
+            telemetry=telemetry,
+            backend=backend,
+            workers=workers,
+        )
+        search = factory().search_algorithm
+        store = CheckpointStore(run_dir / CHECKPOINTS_DIRNAME, telemetry=telemetry)
+
+        def step_cb(step: int) -> None:
+            if spec.step_sleep_s:
+                sleep_fn(spec.step_sleep_s)
+            if on_step is not None:
+                on_step(step)
+
+        run = run_with_checkpoints(
+            search,
+            store=store,
+            checkpoint_every=spec.checkpoint_every,
+            resume=True,
+            on_step=step_cb,
+            should_stop=should_stop,
+        )
+        payload = result_payload(space, run.result)
+        atomic_write_json(run_dir / RESULTS_NAME, payload, indent=2, sort_keys=True)
+        return payload
+    finally:
+        telemetry.close()
+
+
+def load_results(run_dir: pathlib.Path) -> Optional[Dict[str, Any]]:
+    """The job's ``results.json`` payload, or ``None`` if not written."""
+    path = pathlib.Path(run_dir) / RESULTS_NAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

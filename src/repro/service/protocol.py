@@ -1,0 +1,177 @@
+"""Wire protocol and typed errors for the NAS service.
+
+The daemon and its clients speak newline-delimited JSON over a Unix
+domain socket: one request object per connection, one response object
+back, both a single ``\\n``-terminated UTF-8 line.  No framing beyond
+the newline, no dependencies beyond the standard library — the same
+budget as the rest of the repo.
+
+Request::
+
+    {"v": 1, "verb": "submit", "args": {"tenant": "alice", "spec": {...}}}
+
+Response::
+
+    {"v": 1, "ok": true, "data": {...}}
+    {"v": 1, "ok": false, "error": {"code": "quota_exceeded", "message": "..."}}
+
+Every failure the daemon can hand a client is a :class:`ServiceError`
+subclass with a stable ``code``; :func:`raise_for_response` re-raises
+the matching typed exception client-side, so callers catch
+``QuotaExceededError`` rather than string-matching messages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple, Type
+
+#: Version stamped on every request and response line.
+PROTOCOL_VERSION = 1
+
+#: Verbs the daemon dispatches (``ping`` is the readiness probe).
+VERBS = ("submit", "status", "list", "results", "cancel", "drain", "ping")
+
+
+class ServiceError(Exception):
+    """Base of every typed service failure; ``code`` crosses the wire."""
+
+    code = "service_error"
+
+
+class ProtocolError(ServiceError):
+    """The peer sent something that is not a protocol line."""
+
+    code = "protocol_error"
+
+
+class UnknownVerbError(ProtocolError):
+    code = "unknown_verb"
+
+
+class JobSpecError(ServiceError):
+    """A submitted job spec failed validation (admission-time reject)."""
+
+    code = "invalid_spec"
+
+
+class UnknownJobError(ServiceError):
+    code = "unknown_job"
+
+
+class QuotaExceededError(ServiceError):
+    """Admission control rejected a submission (per-tenant or global)."""
+
+    code = "quota_exceeded"
+
+
+class AdmissionClosedError(ServiceError):
+    """The daemon is draining and accepts no new work."""
+
+    code = "admission_closed"
+
+
+class JobStateError(ServiceError):
+    """The verb is invalid for the job's current state."""
+
+    code = "job_state"
+
+
+class ResultsNotReadyError(ServiceError):
+    """``results`` was asked of a job that has not reached ``done``."""
+
+    code = "results_not_ready"
+
+
+class DaemonUnavailableError(ServiceError):
+    """Client-side only: nothing is listening on the socket."""
+
+    code = "daemon_unavailable"
+
+
+#: code -> exception class, for client-side re-raising.
+ERROR_TYPES: Dict[str, Type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        ProtocolError,
+        UnknownVerbError,
+        JobSpecError,
+        UnknownJobError,
+        QuotaExceededError,
+        AdmissionClosedError,
+        JobStateError,
+        ResultsNotReadyError,
+        DaemonUnavailableError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Encoding / decoding
+# ----------------------------------------------------------------------
+def encode_request(verb: str, args: Dict[str, Any]) -> bytes:
+    """One request line, newline-terminated UTF-8."""
+    payload = {"v": PROTOCOL_VERSION, "verb": verb, "args": args}
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> Tuple[str, Dict[str, Any]]:
+    """Parse one request line into ``(verb, args)``.
+
+    Raises :class:`ProtocolError` on malformed JSON or shape, and
+    :class:`UnknownVerbError` for a verb outside :data:`VERBS` — both
+    reach the client as typed error responses, not connection drops.
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"request is not a JSON line: {error}") from None
+    if not isinstance(payload, dict) or "verb" not in payload:
+        raise ProtocolError("request must be an object with a 'verb' field")
+    if payload.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: daemon speaks v{PROTOCOL_VERSION}, "
+            f"request said {payload.get('v')!r}"
+        )
+    verb = payload["verb"]
+    if verb not in VERBS:
+        raise UnknownVerbError(f"unknown verb {verb!r}; expected one of {VERBS}")
+    args = payload.get("args", {})
+    if not isinstance(args, dict):
+        raise ProtocolError("'args' must be an object")
+    return verb, args
+
+
+def ok_response(data: Any) -> bytes:
+    payload = {"v": PROTOCOL_VERSION, "ok": True, "data": data}
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def error_response(error: Exception) -> bytes:
+    code = error.code if isinstance(error, ServiceError) else "service_error"
+    payload = {
+        "v": PROTOCOL_VERSION,
+        "ok": False,
+        "error": {"code": code, "message": str(error)},
+    }
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_response(line: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"response is not a JSON line: {error}") from None
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ProtocolError("response must be an object with an 'ok' field")
+    return payload
+
+
+def raise_for_response(payload: Dict[str, Any]) -> Any:
+    """Return ``data`` from a decoded response, re-raising typed errors."""
+    if payload.get("ok"):
+        return payload.get("data")
+    error = payload.get("error") or {}
+    cls = ERROR_TYPES.get(error.get("code", ""), ServiceError)
+    raise cls(error.get("message", "unspecified service error"))

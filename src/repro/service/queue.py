@@ -1,0 +1,271 @@
+"""Durable job queue: one atomic JSON record per job under a spool dir.
+
+Every job the daemon accepts becomes a file —
+``<spool>/jobs/job-<seq>.json`` — written exclusively through
+:func:`repro.runtime.atomic.atomic_write_json`, so a SIGKILLed daemon
+never leaves a torn record: restart sees either the previous state or
+the new one.  The queue is therefore *the* source of truth; the
+in-memory index is just a cache rebuilt by scanning the spool.
+
+States move ``queued -> running -> done | failed | cancelled``, with
+one extra durable edge for crash recovery and draining:
+``running -> queued`` (:meth:`JobQueue.recover_running`, and the
+scheduler when a drain stops a job at a step boundary).  A recovered
+job resumes from its own checkpoint directory, so no completed step is
+ever recomputed differently — the crash/resume bit-identity contract
+of :mod:`repro.runtime` extends to the service layer.
+
+Per-job isolation lives next to the records: ``<spool>/runs/<job_id>/``
+holds the job's checkpoint store, its private telemetry stream
+(metrics + JSONL event segments), and its final ``results.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from ..runtime.atomic import atomic_write_json
+from .protocol import JobStateError, UnknownJobError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Every state a job record can be in.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Legal state transitions (see module docstring for the extra
+#: ``running -> queued`` recovery/drain edge).
+_TRANSITIONS = {
+    "queued": ("running", "cancelled"),
+    "running": ("done", "failed", "cancelled", "queued"),
+    "done": (),
+    "failed": (),
+    "cancelled": (),
+}
+
+JOBS_DIRNAME = "jobs"
+RUNS_DIRNAME = "runs"
+
+
+@dataclass
+class JobRecord:
+    """Durable description of one submitted search job."""
+
+    job_id: str
+    seq: int
+    tenant: str
+    spec: Dict[str, Any]
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: times a scheduler picked this job up (1 for an undisturbed run;
+    #: +1 for every resume after a daemon death or drain)
+    attempts: int = 0
+    #: times the job was found ``running`` by a restarted daemon and
+    #: re-queued to resume from its checkpoints
+    recoveries: int = 0
+    #: completed search steps, updated as the job runs
+    progress: int = 0
+    error: Optional[str] = None
+    #: free-form audit trail of state edges: [state, at] pairs
+    history: List[List[Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobRecord":
+        return cls(**payload)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class JobQueue:
+    """Thread-safe FIFO queue of :class:`JobRecord` persisted per-job.
+
+    All mutation goes through methods that persist before returning;
+    readers get copies of the in-memory index (never live references a
+    caller could mutate behind the lock's back).
+    """
+
+    def __init__(self, spool: PathLike, clock: Callable[[], float] = time.time):
+        self.spool = pathlib.Path(spool)
+        self.jobs_dir = self.spool / JOBS_DIRNAME
+        self.runs_dir = self.spool / RUNS_DIRNAME
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._records: Dict[str, JobRecord] = {}
+        self._load()
+
+    # -- persistence ----------------------------------------------------
+    def _load(self) -> None:
+        import json
+
+        for path in sorted(self.jobs_dir.glob("job-*.json")):
+            try:
+                record = JobRecord.from_dict(json.loads(path.read_text()))
+            except (json.JSONDecodeError, TypeError, KeyError):
+                # Atomic writes make this unreachable for our own
+                # records; a foreign or hand-edited file must not take
+                # the whole spool down.
+                continue
+            self._records[record.job_id] = record
+
+    def _persist(self, record: JobRecord) -> None:
+        atomic_write_json(
+            self.jobs_dir / f"{record.job_id}.json",
+            record.to_dict(),
+            indent=2,
+            sort_keys=True,
+        )
+
+    def run_dir(self, job_id: str) -> pathlib.Path:
+        """The job's private working directory (checkpoints, telemetry,
+        results); created on first use."""
+        path = self.runs_dir / job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    # -- submission and lookup -----------------------------------------
+    def submit(self, tenant: str, spec: Dict[str, Any]) -> JobRecord:
+        if not tenant or not isinstance(tenant, str):
+            raise ValueError("tenant must be a non-empty string")
+        with self._lock:
+            seq = 1 + max((r.seq for r in self._records.values()), default=-1)
+            record = JobRecord(
+                job_id=f"job-{seq:06d}",
+                seq=seq,
+                tenant=tenant,
+                spec=dict(spec),
+                state="queued",
+                submitted_at=self._clock(),
+            )
+            record.history.append(["queued", record.submitted_at])
+            self._records[record.job_id] = record
+            self._persist(record)
+            return JobRecord.from_dict(record.to_dict())
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise UnknownJobError(f"no such job: {job_id!r}")
+            return JobRecord.from_dict(record.to_dict())
+
+    def list(
+        self,
+        tenant: Optional[str] = None,
+        states: Optional[Iterable[str]] = None,
+    ) -> List[JobRecord]:
+        wanted = tuple(states) if states is not None else None
+        with self._lock:
+            records = [
+                JobRecord.from_dict(r.to_dict())
+                for r in sorted(self._records.values(), key=lambda r: r.seq)
+                if (tenant is None or r.tenant == tenant)
+                and (wanted is None or r.state in wanted)
+            ]
+        return records
+
+    def counts(self, tenant: Optional[str] = None) -> Dict[str, int]:
+        """Jobs per state, optionally restricted to one tenant."""
+        out = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for record in self._records.values():
+                if tenant is None or record.tenant == tenant:
+                    out[record.state] += 1
+        return out
+
+    # -- state machine --------------------------------------------------
+    def transition(self, job_id: str, state: str, **changes: Any) -> JobRecord:
+        """Move a job to ``state`` (validated) and persist atomically.
+
+        Extra keyword ``changes`` patch record fields in the same
+        durable write (``error=...``, ``progress=...``).
+        """
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise UnknownJobError(f"no such job: {job_id!r}")
+            if state not in _TRANSITIONS[record.state]:
+                raise JobStateError(
+                    f"{job_id} is {record.state}; cannot move to {state}"
+                )
+            now = self._clock()
+            record.state = state
+            record.history.append([state, now])
+            if state == "running":
+                record.started_at = now
+                record.attempts += 1
+            elif state in TERMINAL_STATES:
+                record.finished_at = now
+            for key, value in changes.items():
+                if not hasattr(record, key):
+                    raise AttributeError(f"JobRecord has no field {key!r}")
+                setattr(record, key, value)
+            self._persist(record)
+            return JobRecord.from_dict(record.to_dict())
+
+    def update(self, job_id: str, **changes: Any) -> JobRecord:
+        """Patch record fields without a state change (persisted)."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise UnknownJobError(f"no such job: {job_id!r}")
+            for key, value in changes.items():
+                if not hasattr(record, key):
+                    raise AttributeError(f"JobRecord has no field {key!r}")
+                setattr(record, key, value)
+            self._persist(record)
+            return JobRecord.from_dict(record.to_dict())
+
+    def claim_next(
+        self, eligible: Optional[Callable[[JobRecord], bool]] = None
+    ) -> Optional[JobRecord]:
+        """Claim the oldest queued job passing ``eligible`` (FIFO).
+
+        The claim itself is the durable ``queued -> running`` edge: a
+        daemon killed right after this call finds the job ``running``
+        on restart and re-queues it via :meth:`recover_running`.
+        """
+        with self._lock:
+            for record in sorted(self._records.values(), key=lambda r: r.seq):
+                if record.state != "queued":
+                    continue
+                if eligible is not None and not eligible(record):
+                    continue
+                return self.transition(record.job_id, "running")
+        return None
+
+    def recover_running(self) -> List[JobRecord]:
+        """Re-queue every job a dead daemon left ``running``.
+
+        Called once at daemon start, before the scheduler launches
+        anything.  Each recovered job keeps its checkpoints and resumes
+        from its newest snapshot when next claimed.
+        """
+        recovered: List[JobRecord] = []
+        with self._lock:
+            for record in sorted(self._records.values(), key=lambda r: r.seq):
+                if record.state == "running":
+                    recovered.append(
+                        self.transition(
+                            record.job_id,
+                            "queued",
+                            recoveries=record.recoveries + 1,
+                        )
+                    )
+        return recovered

@@ -66,6 +66,10 @@ CHURN_PREFIXES: Tuple[str, ...] = (
     # Tape/graph-reuse counters describe this process's compiled-graph
     # cache (rebuilt empty after every restart), not run progress.
     "nn.",
+    # Daemon-level accounting (submissions, recoveries, quota rejects)
+    # records what really happened to the service, never rolls back
+    # with any one job's checkpoint.
+    "service.",
 )
 
 #: File the final counter snapshot is written to under the telemetry dir.

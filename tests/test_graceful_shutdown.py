@@ -1,0 +1,159 @@
+"""Graceful-shutdown tests: signal handling, step-boundary stop, resume.
+
+The contract (satellite of the service PR, and what the daemon's drain
+is built on): a stop request lands at the next step boundary — the
+in-flight step finishes, a final checkpoint is written even off the
+checkpoint interval, the process exits via ``SearchInterrupted`` — and
+a resumed run finishes bit-identically to one that was never stopped.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.runtime import CheckpointStore, GracefulShutdown, SearchInterrupted
+from repro.runtime.signals import DEFAULT_SIGNALS
+from repro.service.jobs import JobSpec, dlrm_search_builder, one_shot_payload, result_payload
+
+STEPS = 8
+SEED = 11
+
+
+class TestGracefulShutdownObject:
+    def test_programmatic_request_sets_flag(self):
+        shutdown = GracefulShutdown()
+        assert not shutdown.should_stop()
+        shutdown.request()
+        assert shutdown.should_stop() and shutdown.requested
+
+    def test_signal_sets_flag_and_keeps_process_alive(self):
+        with GracefulShutdown() as shutdown:
+            os.kill(os.getpid(), signal.SIGTERM)
+            deadline = time.monotonic() + 5.0
+            while not shutdown.requested and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert shutdown.requested
+            assert shutdown.received == signal.SIGTERM
+
+    def test_handlers_restored_after_exit(self):
+        before = {sig: signal.getsignal(sig) for sig in DEFAULT_SIGNALS}
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGTERM) != before[signal.SIGTERM]
+        for sig in DEFAULT_SIGNALS:
+            assert signal.getsignal(sig) == before[sig]
+
+    def test_background_thread_is_inert_but_requestable(self):
+        before = {sig: signal.getsignal(sig) for sig in DEFAULT_SIGNALS}
+        result = {}
+
+        def use_in_thread():
+            with GracefulShutdown() as shutdown:
+                result["installed_nothing"] = all(
+                    signal.getsignal(sig) == before[sig] for sig in DEFAULT_SIGNALS
+                )
+                shutdown.request()
+                result["stoppable"] = shutdown.should_stop()
+
+        thread = threading.Thread(target=use_in_thread)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert result == {"installed_nothing": True, "stoppable": True}
+
+
+class TestStepBoundaryStop:
+    def test_interrupt_checkpoints_and_resume_is_bit_identical(self, tmp_path):
+        space, factory = dlrm_search_builder(STEPS, SEED, True, backend="serial")
+        calls = {"n": 0}
+
+        def stop_after_three():
+            calls["n"] += 1
+            return calls["n"] >= 3
+
+        with pytest.raises(SearchInterrupted) as excinfo:
+            factory().search(
+                checkpoint_dir=tmp_path,
+                checkpoint_every=5,  # off-interval: forces a final snapshot
+                should_stop=stop_after_three,
+            )
+        assert excinfo.value.step == 3
+        assert excinfo.value.checkpoint_written
+        # The final checkpoint is at the interrupt step, not the last
+        # multiple of checkpoint_every.
+        store = CheckpointStore(tmp_path)
+        assert store.latest().step == 3
+
+        _, factory2 = dlrm_search_builder(STEPS, SEED, True, backend="serial")
+        resumed = factory2().search(checkpoint_dir=tmp_path, resume=True)
+        reference = one_shot_payload(
+            JobSpec(steps=STEPS, seed=SEED), backend="serial"
+        )
+        assert result_payload(space, resumed) == reference
+
+    def test_stop_without_store_raises_with_no_checkpoint(self):
+        _, factory = dlrm_search_builder(STEPS, SEED, True, backend="serial")
+        with pytest.raises(SearchInterrupted) as excinfo:
+            factory().search(should_stop=lambda: True)
+        assert excinfo.value.step == 1  # finished the in-flight step
+        assert not excinfo.value.checkpoint_written
+
+    def test_stop_on_final_step_is_a_normal_finish(self, tmp_path):
+        space, factory = dlrm_search_builder(4, SEED, True, backend="serial")
+        # should_stop turns true only once the run is already complete:
+        # a finished search returns instead of raising.
+        result = factory().search(
+            checkpoint_dir=tmp_path,
+            checkpoint_every=2,
+            should_stop=lambda: False,
+        )
+        assert result_payload(space, result)["steps"] == 4
+
+
+class TestCliInterrupt:
+    def run_search(self, ckpt, steps=4000):
+        env = dict(os.environ, PYTHONPATH=str(
+            os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        ))
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "search",
+                "--steps", str(steps),
+                "--checkpoint-dir", str(ckpt),
+                "--checkpoint-every", "20",
+                "--backend", "serial",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_exits_130_with_final_checkpoint(self, tmp_path, signum):
+        ckpt = tmp_path / "ckpt"
+        proc = self.run_search(ckpt)
+        try:
+            deadline = time.monotonic() + 120.0
+            while not (ckpt.exists() and any(ckpt.glob("snap-*"))):
+                assert time.monotonic() < deadline
+                assert proc.poll() is None, proc.communicate()[1]
+                time.sleep(0.05)
+            proc.send_signal(signum)
+            _out, err = proc.communicate(timeout=120.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "interrupted: search stopped after step" in err
+        assert "rerun with resume to continue" in err
+        # The interrupt wrote a final snapshot at the stop step (which
+        # is generally off the every-20 grid).
+        steps = sorted(
+            int(p.name.rsplit("-", 1)[1]) for p in ckpt.glob("snap-*")
+        )
+        assert CheckpointStore(ckpt).latest().step == steps[-1]

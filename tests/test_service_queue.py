@@ -1,0 +1,145 @@
+"""Durable job-queue tests: atomic records, state machine, recovery."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import JobStateError, UnknownJobError
+from repro.service.queue import JOB_STATES, TERMINAL_STATES, JobQueue
+
+
+def make_queue(tmp_path, **kwargs):
+    return JobQueue(tmp_path / "spool", **kwargs)
+
+
+class TestSubmitAndRecords:
+    def test_submit_assigns_fifo_ids_and_persists(self, tmp_path):
+        queue = make_queue(tmp_path)
+        a = queue.submit("alice", {"steps": 3})
+        b = queue.submit("bob", {"steps": 5})
+        assert (a.job_id, b.job_id) == ("job-000000", "job-000001")
+        assert a.state == "queued" and a.tenant == "alice"
+        on_disk = json.loads(
+            (tmp_path / "spool" / "jobs" / "job-000000.json").read_text()
+        )
+        assert on_disk["state"] == "queued"
+        assert on_disk["spec"] == {"steps": 3}
+
+    def test_get_returns_copies(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.get("job-000000").state = "mutated"
+        assert queue.get("job-000000").state == "queued"
+
+    def test_unknown_job_raises_typed(self, tmp_path):
+        with pytest.raises(UnknownJobError, match="no-such"):
+            make_queue(tmp_path).get("no-such")
+
+    def test_list_filters_by_tenant_and_state(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.submit("bob", {})
+        queue.transition("job-000001", "running")
+        assert [r.job_id for r in queue.list(tenant="alice")] == ["job-000000"]
+        assert [r.job_id for r in queue.list(states=["running"])] == ["job-000001"]
+        counts = queue.counts()
+        assert counts["queued"] == 1 and counts["running"] == 1
+
+
+class TestStateMachine:
+    def test_full_lifecycle_edges(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.transition("job-000000", "running")
+        record = queue.transition("job-000000", "done")
+        assert record.state == "done"
+        assert record.started_at is not None
+        assert record.finished_at is not None
+        assert record.attempts == 1
+        assert [s for s, _ in record.history] == ["queued", "running", "done"]
+
+    @pytest.mark.parametrize("terminal", TERMINAL_STATES)
+    def test_terminal_states_are_final(self, tmp_path, terminal):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        if terminal != "cancelled":
+            queue.transition("job-000000", "running")
+        queue.transition("job-000000", terminal)
+        with pytest.raises(JobStateError):
+            queue.transition("job-000000", "running")
+
+    def test_illegal_edge_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        with pytest.raises(JobStateError, match="is queued; cannot move to done"):
+            queue.transition("job-000000", "done")
+
+    def test_running_back_to_queued_is_legal(self, tmp_path):
+        # The drain/crash-recovery edge: a parked job resumes later.
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.transition("job-000000", "running")
+        record = queue.transition("job-000000", "queued")
+        assert record.state == "queued"
+
+    def test_states_registry_is_closed(self):
+        assert set(TERMINAL_STATES) <= set(JOB_STATES)
+
+
+class TestDurability:
+    def test_spool_survives_reconstruction(self, tmp_path):
+        first = make_queue(tmp_path)
+        first.submit("alice", {"steps": 4})
+        first.submit("bob", {"steps": 2})
+        first.transition("job-000000", "running")
+        # A brand-new queue object (daemon restart) sees the same state.
+        second = make_queue(tmp_path)
+        assert second.get("job-000000").state == "running"
+        assert second.get("job-000001").spec == {"steps": 2}
+        # And continues the id sequence instead of reusing ids.
+        third = second.submit("carol", {})
+        assert third.job_id == "job-000002"
+
+    def test_corrupt_record_is_skipped_not_fatal(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        (tmp_path / "spool" / "jobs" / "job-000099.json").write_text("{trunc")
+        reopened = make_queue(tmp_path)
+        assert [r.job_id for r in reopened.list()] == ["job-000000"]
+
+    def test_recover_running_requeues_and_counts(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.submit("alice", {})
+        queue.transition("job-000000", "running")
+        # Simulate the daemon dying and a new one scanning the spool.
+        fresh = make_queue(tmp_path)
+        recovered = fresh.recover_running()
+        assert [r.job_id for r in recovered] == ["job-000000"]
+        record = fresh.get("job-000000")
+        assert record.state == "queued" and record.recoveries == 1
+        assert fresh.get("job-000001").recoveries == 0
+
+
+class TestClaiming:
+    def test_claim_next_is_fifo(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.submit("bob", {})
+        claimed = queue.claim_next()
+        assert claimed.job_id == "job-000000" and claimed.state == "running"
+        assert queue.claim_next().job_id == "job-000001"
+        assert queue.claim_next() is None
+
+    def test_claim_respects_eligibility(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.submit("bob", {})
+        claimed = queue.claim_next(eligible=lambda r: r.tenant == "bob")
+        assert claimed.job_id == "job-000001"
+
+    def test_claim_is_durable(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.submit("alice", {})
+        queue.claim_next()
+        assert make_queue(tmp_path).get("job-000000").state == "running"

@@ -375,3 +375,64 @@ class TestTestbedClassification:
             error="RuntimeError", retryable="true"
         ) == 2
         assert telemetry.counter("testbed.measurements").value() == 1
+
+
+class TestEventLogConcurrency:
+    """Concurrent per-job streams: the daemon's telemetry layout.
+
+    The service runs N jobs at once, each writing its own EventLog
+    under ``runs/<job>/telemetry/events``, while operators tail live
+    streams.  Two writer threads on distinct streams plus a reader
+    tailing one of them mid-write must never observe a torn or
+    interleaved JSONL record — segments are sealed atomically, so a
+    reader only ever sees whole segments of whole lines.
+    """
+
+    WRITES = 120
+
+    def test_two_writers_and_a_live_reader_see_whole_records(self, tmp_path):
+        import threading
+
+        dirs = [tmp_path / "job-a", tmp_path / "job-b"]
+        logs = [EventLog(d, segment_events=4) for d in dirs]
+        start = threading.Barrier(3)
+        errors = []
+
+        def writer(index):
+            log = logs[index]
+            start.wait()
+            for i in range(self.WRITES):
+                log.emit("step", writer=index, i=i, payload="x" * 200)
+            log.close()
+
+        def reader():
+            # Tails writer 0's stream while segments are landing; every
+            # observed record must already be complete and parseable
+            # (read_events would raise on a torn line).
+            start.wait()
+            try:
+                while len(list(dirs[0].glob("events-*.jsonl"))) * 4 < self.WRITES:
+                    for event in read_events(dirs[0]):
+                        assert event["kind"] == "step"
+                        assert set(event) == {"ts", "kind", "writer", "i", "payload"}
+                        assert event["writer"] == 0
+            except Exception as error:  # surfaced after join
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(0,)),
+            threading.Thread(target=writer, args=(1,)),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+        # Final state: each stream holds exactly its own writer's
+        # records, in order, with no cross-stream interleaving.
+        for index, d in enumerate(dirs):
+            events = list(read_events(d))
+            assert [e["i"] for e in events] == list(range(self.WRITES))
+            assert {e["writer"] for e in events} == {index}
