@@ -292,3 +292,120 @@ def test_process_backend(benchmark):
     # Acceptance: >= 2x step wall-clock at 4 workers on GIL-holding
     # scoring shards — the work threads cannot parallelize.
     assert payload["speedup"] >= 2.0, f"speedup only {payload['speedup']:.2f}x"
+
+
+# ----------------------------------------------------------------------
+# Latency-bound scoring across hosts: the distributed backend's regime
+# ----------------------------------------------------------------------
+class RemoteDeviceSupernet(SurrogateSuperNetwork):
+    """Surrogate whose per-candidate scoring waits on a remote device.
+
+    Unlike :class:`LatencyBoundSupernet` this one pickles — it is
+    module-level and built on the module-level quality fn — so the
+    distributed workers can rehydrate it from the broadcast spec.
+    """
+
+    def _quality_split(self, arch, inputs, labels, rng):
+        time.sleep(SCORE_LATENCY)
+        return super()._quality_split(arch, inputs, labels, rng)
+
+
+def build_distributed_search(backend, steps=STEPS, cores=CORES, seed=0):
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=NUM_TABLES, num_dense_stacks=2)
+    )
+    teacher = CtrTeacher(
+        CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed)
+    )
+    search = SingleStepSearch(
+        space=space,
+        supernet=RemoteDeviceSupernet(
+            _cpu_quality, noise_sigma=0.05, seed=seed, split_noise=True
+        ),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+        performance_fn=_flat_cost,
+        config=SearchConfig(
+            steps=steps,
+            num_cores=cores,
+            warmup_steps=4,
+            record_candidates=False,
+            seed=seed,
+            backend=backend,
+        ),
+    )
+    return space, search
+
+
+def _timed_distributed_run(backend, steps, cores):
+    space, search = build_distributed_search(backend, steps=steps, cores=cores)
+    started = time.perf_counter()
+    result = search.run()
+    return space, result, time.perf_counter() - started
+
+
+def run_distributed(steps=STEPS, cores=CORES, workers=WORKERS):
+    from repro.core import DistributedBackend
+    from repro.service import result_payload
+
+    space, serial_result, serial_seconds = _timed_distributed_run(
+        "serial", steps, cores
+    )
+    dist_backend = DistributedBackend(workers=workers)
+    _, dist_result, dist_seconds = _timed_distributed_run(
+        dist_backend, steps, cores
+    )
+    losses = dist_backend.worker_losses
+    hosts = dist_backend.host_count
+
+    # Crossing host boundaries must not change the search: the full
+    # fingerprinted results payload — the service's bit-identity
+    # currency — has to match, not just the reward trajectory.
+    serial_payload = result_payload(space, serial_result)
+    dist_payload = result_payload(space, dist_result)
+    assert dist_payload["fingerprint"] == serial_payload["fingerprint"]
+
+    payload = {
+        "steps": steps,
+        "cores": cores,
+        "workers": workers,
+        "hosts": hosts,
+        "worker_losses": losses,
+        "score_latency_s": SCORE_LATENCY,
+        "serial_seconds": serial_seconds,
+        "distributed_seconds": dist_seconds,
+        "serial_step_ms": 1e3 * serial_seconds / steps,
+        "distributed_step_ms": 1e3 * dist_seconds / steps,
+        "speedup": serial_seconds / max(dist_seconds, 1e-12),
+        "fingerprint": dist_payload["fingerprint"],
+        "fingerprints_identical": True,
+    }
+    table = format_table(
+        ["backend", "total (s)", "per step (ms)", "speedup"],
+        [
+            [
+                "serial",
+                f"{serial_seconds:.2f}",
+                f"{payload['serial_step_ms']:.1f}",
+                "1.0x",
+            ],
+            [
+                f"distributed x{workers}",
+                f"{dist_seconds:.2f}",
+                f"{payload['distributed_step_ms']:.1f}",
+                f"{payload['speedup']:.1f}x",
+            ],
+        ],
+    )
+    emit("backends_distributed", table)
+    emit_json("backends_distributed", payload)
+    return payload
+
+
+def test_distributed_backend(benchmark):
+    payload = benchmark.pedantic(run_distributed, rounds=1, iterations=1)
+    # Acceptance: >= 1.5x step wall-clock from fanning the shard's
+    # per-candidate device waits across 4 loopback worker hosts, with
+    # the results fingerprint bit-identical to the serial run.
+    assert payload["speedup"] >= 1.5, f"speedup only {payload['speedup']:.2f}x"
+    assert payload["worker_losses"] == 0

@@ -15,7 +15,9 @@ Subcommands:
 * ``serve`` — the persistent NAS service daemon (durable job queue,
   per-tenant quotas, shared worker pool; see :mod:`repro.service`);
 * ``submit`` / ``status`` / ``results`` / ``cancel`` / ``jobs`` /
-  ``drain`` — clients of a running daemon, JSON on stdout.
+  ``drain`` — clients of a running daemon, JSON on stdout;
+* ``worker`` — join a ``--backend distributed`` controller as a worker
+  host (``--connect HOST:PORT``).
 
 Conventions: errors go to **stderr** with a non-zero exit code (1 for
 runtime/service failures, 2 for usage, 130 after a graceful SIGINT/
@@ -418,6 +420,27 @@ def cmd_drain(args: argparse.Namespace) -> str:
     return json.dumps(_client(args).drain(), indent=2, sort_keys=True)
 
 
+def cmd_worker(args: argparse.Namespace) -> str:
+    from .core.engine.distributed import run_worker
+
+    print(
+        f"repro worker connecting to {args.connect}"
+        + (f" (max tasks: {args.max_tasks})" if args.max_tasks else ""),
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        executed = run_worker(
+            args.connect,
+            worker_id=args.worker_id,
+            max_tasks=args.max_tasks,
+            connect_timeout=args.timeout,
+        )
+    except ConnectionError as error:
+        raise CliError(f"could not reach controller at {args.connect}: {error}")
+    return f"worker exited after {executed} tasks"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -491,7 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=positive_int,
             default=None,
-            help="worker count for --backend threads/processes "
+            help="worker count for --backend threads/processes/distributed "
             "(default: $REPRO_WORKERS, then min(4, cpu cores)); must be >= 1",
         )
 
@@ -659,6 +682,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_client_args(drain)
     drain.set_defaults(handler=cmd_drain)
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a distributed-backend controller as a worker host: "
+        "rehydrates supernets from controller broadcasts and scores "
+        "stage tasks until the controller shuts down",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="controller address (a search running --backend distributed "
+        "prints/binds one; see DistributedBackend.address)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="label for this worker in controller telemetry "
+        "(default: <hostname>/<pid>)",
+    )
+    worker.add_argument(
+        "--max-tasks",
+        type=positive_int,
+        default=None,
+        help="exit abruptly after this many tasks — a deterministic "
+        "host-loss injection for resilience testing",
+    )
+    worker.add_argument(
+        "--timeout", type=float, default=10.0, help="connect timeout in seconds"
+    )
+    worker.set_defaults(handler=cmd_worker)
 
     return parser
 

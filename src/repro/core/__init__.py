@@ -60,6 +60,18 @@ from .search import (
     group_unique_architectures,
 )
 
+
+def __getattr__(name: str):
+    # Lazy (PEP 562), mirroring repro.core.engine: the distributed
+    # backend's transport imports repro.service, which must not load
+    # while this package is still initializing.
+    if name in ("DistributedBackend", "run_worker"):
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ArchMetricsCache",
     "BaselineTracker",
@@ -67,10 +79,12 @@ __all__ = [
     "CandidateRecord",
     "CategoricalPolicy",
     "EvalRuntime",
+    "DistributedBackend",
     "EvalRuntimeStats",
     "ExecutionBackend",
     "MemoizedEvaluate",
     "ProcessPoolBackend",
+    "run_worker",
     "ResumableLoop",
     "SearchEngine",
     "SerialBackend",

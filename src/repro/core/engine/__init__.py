@@ -39,13 +39,37 @@ from .engine import (
 )
 from .loop import ResumableLoop
 
+#: Distributed-backend names resolved lazily (PEP 562): importing
+#: .distributed eagerly would pull the socket transport — and through it
+#: repro.service — into every `import repro.core`, re-entering the
+#: partially-initialized core package via runtime.checkpoint.
+_DISTRIBUTED_EXPORTS = (
+    "DIST_BIND_ENV_VAR",
+    "DistributedBackend",
+    "DistributedContext",
+    "WorkerHost",
+    "run_worker",
+)
+
+
+def __getattr__(name: str):
+    if name in _DISTRIBUTED_EXPORTS:
+        from . import distributed
+
+        return getattr(distributed, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
+    "DIST_BIND_ENV_VAR",
     "MP_CONTEXT_ENV_VAR",
     "WORKERS_ENV_VAR",
     "BackendSpec",
     "CandidateRecord",
+    "DistributedBackend",
+    "DistributedContext",
     "DrawnCandidate",
     "ExecutionBackend",
     "PerformanceFn",
@@ -60,11 +84,13 @@ __all__ = [
     "StepRecord",
     "SuperNetwork",
     "ThreadPoolBackend",
+    "WorkerHost",
     "default_worker_count",
     "group_unique_architectures",
     "in_worker",
     "process_start_method",
     "resolve_backend",
     "run_stage_task",
+    "run_worker",
     "shutdown_pools",
 ]

@@ -20,6 +20,12 @@ tasks, and this module supplies the things that map runs on:
   segment (see :mod:`.shm` / :mod:`.worker`), not through task pickles,
   and a killed worker's map is resubmitted (bounded retries) without
   restarting the step.
+* :class:`~.distributed.DistributedBackend` — the cross-*host* leg:
+  a TCP controller sharding the same stage tasks across worker
+  processes that may live on other machines (``repro worker``), with
+  versioned weight broadcasts in place of the shared-memory segment and
+  per-task resubmission in place of whole-map retry.  Registered here
+  lazily; see :mod:`.distributed`.
 
 **Determinism contract.**  A backend may only be handed tasks whose
 outputs are independent of scheduling: pure functions of their inputs,
@@ -435,10 +441,20 @@ class ProcessPoolBackend(ExecutionBackend):
 # ----------------------------------------------------------------------
 # Backend resolution
 # ----------------------------------------------------------------------
+def _distributed_backend(workers: Optional[int], seed: int) -> ExecutionBackend:
+    # Imported lazily: distributed.py pulls in the socket transport
+    # (which shares framing with repro.service) and imports this module
+    # back — registry construction must not trigger that cycle.
+    from .distributed import DistributedBackend
+
+    return DistributedBackend(workers=workers, seed=seed)
+
+
 _REGISTRY: Dict[str, Callable[[Optional[int], int], ExecutionBackend]] = {
     "serial": lambda workers, seed: SerialBackend(seed=seed),
     "threads": lambda workers, seed: ThreadPoolBackend(workers=workers, seed=seed),
     "processes": lambda workers, seed: ProcessPoolBackend(workers=workers, seed=seed),
+    "distributed": _distributed_backend,
 }
 
 _ALIASES: Dict[str, str] = {
@@ -448,6 +464,7 @@ _ALIASES: Dict[str, str] = {
     "procs": "processes",
     "processpool": "processes",
     "mp": "processes",
+    "dist": "distributed",
 }
 
 #: Spec names accepted by :func:`resolve_backend` — derived from the

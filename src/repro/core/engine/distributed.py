@@ -1,0 +1,1115 @@
+"""Cross-host controller/worker execution backend.
+
+This is the last rung of the backend ladder and the paper's actual
+deployment shape: one controller owns the policy and the search loop,
+and ``N`` workers — on this host or others — score shards against
+supernets they rehydrated once from a serialized spec.  Where the
+process backend (:mod:`.backends`) moves weights through a shared-memory
+seqlock, hosts have no shared memory; the same versioning becomes a
+*push*: every ``optimizer_step()`` republish broadcasts a versioned
+weight message, every task is stamped with the version it must score
+against, and a worker holding older weights re-fetches before scoring
+(:class:`WorkerHost` below).  The determinism contract is unchanged —
+per-task ``SeedSequence`` streams ride inside the pickled payloads and
+the gather is order-preserving — so a distributed search is
+bit-identical to a serial one.
+
+Fault tolerance generalizes the process pool's whole-map resubmission
+into *per-task* resubmission: a lost host (connection drop, worker
+SIGKILL) orphans only the tasks assigned to it, which are re-sent to
+surviving workers with a bounded per-task retry budget; exhaustion (or
+losing every worker) raises the retryable
+:class:`~repro.runtime.errors.WorkerCrashError`, handing the step to the
+supervisor's checkpoint/restart path.
+
+Topology: a :class:`_Cluster` (one per ``(workers, bind)`` key, shared
+through the executor-pool registry) binds a TCP listener and accepts
+workers whenever they arrive.  By default it also spawns ``workers``
+loopback worker threads running the exact code path an external
+``repro worker --connect host:port`` process runs, so ``--backend
+distributed`` works out of the box on one machine and the wire protocol
+is exercised end-to-end even in tier-1 CI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+
+import numpy as np
+
+from .backends import (
+    ExecutionBackend,
+    _discard_shared_pool,
+    _shared_pool,
+    default_worker_count,
+)
+from ...service.protocol import ProtocolError
+from .transport import (
+    DEFAULT_BIND,
+    TRANSPORT_VERSION,
+    format_address,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from .worker import (
+    RemoteContextRef,
+    StageTask,
+    build_supernet_from_spec,
+    execute_stage_kind,
+    next_context_id,
+    register_local_context,
+    run_stage_task,
+    unregister_local_context,
+    worker_spec_for,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Where the controller listens when a search does not say —
+#: loopback/ephemeral unless this env var names a ``host:port``.
+DIST_BIND_ENV_VAR = "REPRO_DIST_BIND"
+
+
+def _crash_error(message: str) -> Exception:
+    from ...runtime.errors import WorkerCrashError
+
+    return WorkerCrashError(message)
+
+
+def _weights_layout(
+    arrays: Sequence[np.ndarray],
+) -> List[Tuple[Tuple[int, ...], int, int]]:
+    """``(shape, offset, size)`` per array, in float64 *elements* — the
+    same layout convention the shared-memory segment uses, so
+    :class:`~.worker.RemoteContextRef` is meaningful on both backends."""
+    layout: List[Tuple[Tuple[int, ...], int, int]] = []
+    offset = 0
+    for array in arrays:
+        layout.append((tuple(array.shape), offset, int(array.size)))
+        offset += int(array.size)
+    return layout
+
+
+def _snapshot_weights(arrays: Sequence[np.ndarray]) -> bytes:
+    """The concatenated float64 bytes a weight broadcast carries."""
+    return b"".join(
+        np.ascontiguousarray(a, dtype=np.float64).tobytes() for a in arrays
+    )
+
+
+def _picklable_error(error: BaseException) -> BaseException:
+    """``error`` if it survives pickling, else a faithful stand-in.
+
+    An unpicklable exception must not kill the worker's send path — that
+    would surface as a *host loss* and burn retries on a deterministic
+    failure the controller should just propagate.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _HostContext:
+    """One rehydrated supernet plus its last-applied weight version."""
+
+    def __init__(self, supernet: Any, layout: Sequence[Tuple[Tuple[int, ...], int, int]]):
+        self.supernet = supernet
+        self.param_arrays = [p.data for p in supernet.parameters()]
+        self.layout = [
+            (tuple(shape), int(offset), int(size)) for shape, offset, size in layout
+        ]
+        shapes = [tuple(a.shape) for a in self.param_arrays]
+        expected = [shape for shape, _, _ in self.layout]
+        if shapes != expected:
+            raise RuntimeError(
+                f"rehydrated supernet parameters {shapes} do not match the "
+                f"broadcast layout {expected}"
+            )
+        self.applied_version = 0
+
+    def apply(self, version: int, data: bytes) -> None:
+        if version <= self.applied_version:
+            return
+        flat = np.frombuffer(data, dtype=np.float64)
+        for array, (shape, offset, size) in zip(self.param_arrays, self.layout):
+            np.copyto(array, flat[offset : offset + size].reshape(shape))
+        self.applied_version = int(version)
+
+
+class WorkerHost:
+    """One worker's connection to a controller: the ``repro worker`` loop.
+
+    Single-threaded by design: one socket, one message at a time, with a
+    small backlog deque for messages that arrive while the worker is
+    blocked waiting for a context or weight version it asked for.  The
+    same loop runs as an external process (``repro worker``) and as the
+    cluster's loopback worker threads — one code path, tested both ways.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        worker_id: Optional[str] = None,
+        max_tasks: Optional[int] = None,
+        connect_timeout: float = 10.0,
+    ):
+        target = parse_address(address) if isinstance(address, str) else tuple(address)
+        self.address = (target[0], int(target[1]))
+        self.worker_id = worker_id or f"{socket.gethostname()}/{os.getpid()}"
+        #: execute-and-reply budget; ``None`` serves until shutdown/EOF.
+        #: A bounded worker exits *abruptly* once spent — no goodbye —
+        #: which is exactly a host loss from the controller's viewpoint,
+        #: giving tests a deterministic kill-mid-shard lever.
+        self.max_tasks = max_tasks
+        self.connect_timeout = connect_timeout
+        self.executed = 0
+        self._contexts: Dict[str, Union[_HostContext, Exception]] = {}
+        self._backlog: "deque[Dict[str, Any]]" = deque()
+        self._sock: Optional[socket.socket] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def run(self) -> int:
+        """Serve until shutdown, EOF, or the ``max_tasks`` budget is
+        spent; returns the number of tasks executed."""
+        sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        try:
+            send_message(
+                sock,
+                {
+                    "type": "hello",
+                    "transport": TRANSPORT_VERSION,
+                    "worker_id": self.worker_id,
+                    "host": socket.gethostname(),
+                    "pid": os.getpid(),
+                },
+            )
+            self._serve()
+        finally:
+            self._sock = None
+            sock.close()
+        return self.executed
+
+    def _next_message(self) -> Optional[Dict[str, Any]]:
+        if self._backlog:
+            return self._backlog.popleft()
+        try:
+            return recv_message(self._sock)
+        except (ProtocolError, OSError):
+            return None
+
+    def _serve(self) -> None:
+        while True:
+            message = self._next_message()
+            if message is None:
+                return
+            kind = message["type"]
+            if kind == "shutdown":
+                return
+            if kind in ("context", "weights", "release"):
+                self._apply_control(message)
+            elif kind in ("task", "call"):
+                if not self._handle_work(message):
+                    return
+                if self.max_tasks is not None and self.executed >= self.max_tasks:
+                    # Budget spent: vanish mid-conversation, like a
+                    # SIGKILLed host would.
+                    return
+            # unknown types are ignored: forward-compatible controllers
+
+    # -- control messages ----------------------------------------------
+    def _apply_control(self, message: Dict[str, Any]) -> None:
+        kind = message["type"]
+        context_id = message["context_id"]
+        if kind == "release":
+            self._contexts.pop(context_id, None)
+            return
+        if kind == "weights":
+            ctx = self._contexts.get(context_id)
+            if isinstance(ctx, _HostContext):
+                ctx.apply(message["version"], message["data"])
+            return
+        # context: build the supernet once; a failure is remembered and
+        # reported per-task rather than killing the worker.
+        if message.get("missing"):
+            self._contexts[context_id] = RuntimeError(
+                f"controller has no context {context_id!r} (already released?)"
+            )
+            return
+        try:
+            supernet = build_supernet_from_spec(pickle.loads(message["spec"]))
+            ctx: Union[_HostContext, Exception] = _HostContext(
+                supernet, message["layout"]
+            )
+            if message.get("weights") is not None:
+                ctx.apply(message["version"], message["weights"])
+        except Exception as error:
+            ctx = error
+        self._contexts[context_id] = ctx
+
+    def _await(self, predicate: Callable[[], bool]) -> bool:
+        """Drain messages until ``predicate`` holds, backlogging work.
+
+        Control messages apply immediately (they may be exactly what the
+        predicate waits for); tasks and shutdown go to the backlog in
+        arrival order.  ``False`` means the connection died first.
+        """
+        while not predicate():
+            try:
+                message = recv_message(self._sock)
+            except (ProtocolError, OSError):
+                return False
+            if message is None:
+                return False
+            if message["type"] in ("context", "weights", "release"):
+                self._apply_control(message)
+            else:
+                self._backlog.append(message)
+        return True
+
+    # -- work messages --------------------------------------------------
+    def _context_for_task(self, ref: RemoteContextRef) -> _HostContext:
+        context_id = ref.context_id
+        if context_id not in self._contexts:
+            # The task overtook the context broadcast (we joined while a
+            # search was mid-flight); ask for it and wait.
+            send_message(
+                self._sock, {"type": "fetch_context", "context_id": context_id}
+            )
+            if not self._await(lambda: context_id in self._contexts):
+                raise ConnectionError("controller went away during fetch_context")
+        ctx = self._contexts[context_id]
+        if isinstance(ctx, Exception):
+            raise ctx
+        if ctx.applied_version < ref.version:
+            # Stale weights: this task was stamped after a publish whose
+            # broadcast we have not seen (reconnect races, lost frames
+            # are impossible but joins are not) — re-fetch before
+            # scoring, exactly like the shm copy-in on version mismatch.
+            send_message(
+                self._sock,
+                {
+                    "type": "fetch_weights",
+                    "context_id": context_id,
+                    "version": ref.version,
+                },
+            )
+            if not self._await(lambda: ctx.applied_version >= ref.version):
+                raise ConnectionError("controller went away during fetch_weights")
+        return ctx
+
+    def _handle_work(self, message: Dict[str, Any]) -> bool:
+        """Execute one task/call and reply; ``False`` if the link died."""
+        task_id = message["task_id"]
+        try:
+            start = time.perf_counter()
+            if message["type"] == "call":
+                value = message["fn"](message["item"])
+            else:
+                task: StageTask = message["task"]
+                ctx = self._context_for_task(task.context)
+                value = execute_stage_kind(ctx.supernet, task.kind, task.payload)
+            seconds = time.perf_counter() - start
+        except ConnectionError:
+            return False
+        except Exception as error:  # deterministic task failure: report it
+            self.executed += 1
+            return self._send(
+                {"type": "error", "task_id": task_id, "error": _picklable_error(error)}
+            )
+        self.executed += 1
+        if self._send({"type": "result", "task_id": task_id, "value": value,
+                       "seconds": seconds}):
+            return True
+        return False
+
+    def _send(self, message: Dict[str, Any]) -> bool:
+        try:
+            send_message(self._sock, message)
+            return True
+        except Exception as error:
+            # A result that cannot pickle must come back as a typed task
+            # error, not a dead worker.
+            if not isinstance(error, (OSError, ProtocolError)):
+                try:
+                    send_message(
+                        self._sock,
+                        {
+                            "type": "error",
+                            "task_id": message.get("task_id"),
+                            "error": _picklable_error(
+                                error if isinstance(error, Exception)
+                                else RuntimeError(str(error))
+                            ),
+                        },
+                    )
+                    return True
+                except Exception:
+                    return False
+            return False
+
+
+def run_worker(
+    address: Union[str, Tuple[str, int]],
+    worker_id: Optional[str] = None,
+    max_tasks: Optional[int] = None,
+    connect_timeout: float = 10.0,
+) -> int:
+    """Connect to a controller and serve stage tasks until told to stop.
+
+    The entry point behind ``repro worker --connect host:port`` and the
+    cluster's loopback worker threads; returns the task count executed.
+    """
+    host = WorkerHost(
+        address,
+        worker_id=worker_id,
+        max_tasks=max_tasks,
+        connect_timeout=connect_timeout,
+    )
+    return host.run()
+
+
+# ----------------------------------------------------------------------
+# Controller side
+# ----------------------------------------------------------------------
+class _TaskRecord:
+    """One submitted task: its wire message, result slot, retry count."""
+
+    __slots__ = ("task_id", "index", "message", "retries", "link", "run")
+
+    def __init__(self, task_id: int, index: int, message: Dict[str, Any], run: "_MapRun"):
+        self.task_id = task_id
+        self.index = index
+        self.message = message
+        self.retries = 0
+        self.link: Optional["_WorkerLink"] = None
+        self.run = run
+
+
+class _MapRun:
+    """Controller-side state of one in-flight order-preserving map."""
+
+    __slots__ = ("results", "remaining", "failure", "max_retries")
+
+    def __init__(self, count: int, max_retries: int):
+        self.results: List[Optional[Tuple[Any, float, str]]] = [None] * count
+        self.remaining = count
+        self.failure: Optional[BaseException] = None
+        self.max_retries = max_retries
+
+
+class _WorkerLink:
+    """One connected worker: socket, send lock, outstanding tasks."""
+
+    def __init__(self, sock: socket.socket, worker_id: str, host: str, pid: int):
+        self.sock = sock
+        self.worker_id = worker_id
+        self.host = host
+        self.pid = pid
+        self.alive = True
+        self.outstanding: Dict[int, _TaskRecord] = {}
+        self._send_lock = threading.Lock()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        with self._send_lock:
+            send_message(self.sock, message)
+
+
+class _Cluster:
+    """Listener + worker links + context state, shared across backends.
+
+    Registered in the executor-pool registry under ``("distributed",
+    workers, bind, spawn_local)`` and duck-types ``shutdown(wait=...)``,
+    so ``shutdown_pools()`` (and interpreter exit) reaps it like any
+    executor.  One cluster serves every search in the process that picks
+    the same key — the point: tests and sweeps run hundreds of searches,
+    and workers rehydrate supernets per *context*, not per search
+    object, so connection churn is zero.
+    """
+
+    def __init__(self, workers: int, bind: str = DEFAULT_BIND, spawn_local: bool = True):
+        self.workers = workers
+        self.spawn_local = spawn_local
+        self.worker_losses = 0
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._links: Dict[str, _WorkerLink] = {}
+        self._contexts: Dict[str, Dict[str, Any]] = {}
+        self._pending: Dict[int, _TaskRecord] = {}
+        self._task_ids = itertools.count(1)
+        self._rr = 0
+        self._closed = False
+        host, port = parse_address(bind)
+        self._listener = socket.create_server((host, port))
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._local_threads: List[threading.Thread] = []
+        if spawn_local:
+            base = f"{socket.gethostname()}/{os.getpid()}"
+            for index in range(workers):
+                thread = threading.Thread(
+                    target=self._run_local_worker,
+                    args=(f"{base}/w{index}",),
+                    name=f"repro-dist-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._local_threads.append(thread)
+
+    def _run_local_worker(self, worker_id: str) -> None:
+        try:
+            run_worker(self.address, worker_id=worker_id)
+        except Exception:
+            pass  # loss is observed (and accounted) controller-side
+
+    # -- membership -----------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: cluster shut down
+            threading.Thread(
+                target=self._admit, args=(conn,), name="repro-dist-admit", daemon=True
+            ).start()
+
+    def _admit(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(10.0)
+            hello = recv_message(conn)
+            if (
+                hello is None
+                or hello.get("type") != "hello"
+                or hello.get("transport") != TRANSPORT_VERSION
+            ):
+                conn.close()
+                return
+            conn.settimeout(None)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (ProtocolError, OSError):
+            conn.close()
+            return
+        link = _WorkerLink(
+            conn,
+            str(hello.get("worker_id") or "unknown/0"),
+            str(hello.get("host") or "unknown"),
+            int(hello.get("pid") or 0),
+        )
+        with self._cond:
+            if self._closed:
+                conn.close()
+                return
+            base, n = link.worker_id, 1
+            while link.worker_id in self._links:
+                n += 1
+                link.worker_id = f"{base}#{n}"
+            self._links[link.worker_id] = link
+            contexts = [dict(state) for state in self._contexts.values()]
+            self._cond.notify_all()
+        try:
+            for state in contexts:
+                link.send(self._context_message(state))
+        except (OSError, ProtocolError):
+            self._handle_link_loss(link)
+            return
+        threading.Thread(
+            target=self._recv_loop,
+            args=(link,),
+            name=f"repro-dist-recv-{link.worker_id}",
+            daemon=True,
+        ).start()
+
+    def wait_for_workers(self, count: int, timeout: float) -> int:
+        """Block until ``count`` workers are connected (or timeout)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._links) < count and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return len(self._links)
+
+    @property
+    def host_count(self) -> int:
+        with self._lock:
+            return len(self._links)
+
+    # -- context / weight state ----------------------------------------
+    @staticmethod
+    def _context_message(state: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "type": "context",
+            "context_id": state["context_id"],
+            "spec": state["spec"],
+            "layout": state["layout"],
+            "version": state["version"],
+            "weights": state["weights"],
+        }
+
+    def register_context(
+        self,
+        context_id: str,
+        spec: bytes,
+        layout: Tuple[Tuple[Tuple[int, ...], int, int], ...],
+        version: int,
+        weights: bytes,
+    ) -> None:
+        state = {
+            "context_id": context_id,
+            "spec": spec,
+            "layout": layout,
+            "version": int(version),
+            "weights": weights,
+        }
+        with self._lock:
+            self._contexts[context_id] = state
+            links = list(self._links.values())
+        self._broadcast(links, self._context_message(state))
+
+    def update_weights(self, context_id: str, version: int, weights: bytes) -> None:
+        with self._lock:
+            state = self._contexts.get(context_id)
+            if state is None:
+                return
+            state["version"] = int(version)
+            state["weights"] = weights
+            links = list(self._links.values())
+        self._broadcast(
+            links,
+            {
+                "type": "weights",
+                "context_id": context_id,
+                "version": int(version),
+                "data": weights,
+            },
+        )
+
+    def release_context(self, context_id: str) -> None:
+        with self._lock:
+            self._contexts.pop(context_id, None)
+            links = list(self._links.values())
+        self._broadcast(links, {"type": "release", "context_id": context_id})
+
+    def _broadcast(self, links: Sequence[_WorkerLink], message: Dict[str, Any]) -> None:
+        for link in links:
+            try:
+                link.send(message)
+            except (OSError, ProtocolError):
+                self._handle_link_loss(link)
+
+    # -- the map --------------------------------------------------------
+    def run_map(
+        self, messages: Sequence[Dict[str, Any]], max_retries: int
+    ) -> List[Tuple[Any, float, str]]:
+        """Fan ``messages`` out, gather ``(value, seconds, worker_id)``
+        in submission order; resubmit orphans of lost workers."""
+        run = _MapRun(len(messages), max_retries)
+        records: List[_TaskRecord] = []
+        with self._cond:
+            if self._closed:
+                raise _crash_error("distributed cluster is shut down")
+            for index, message in enumerate(messages):
+                task_id = next(self._task_ids)
+                message = dict(message)
+                message["task_id"] = task_id
+                record = _TaskRecord(task_id, index, message, run)
+                records.append(record)
+                self._pending[task_id] = record
+                self._assign_locked(record)
+        for record in records:
+            link = record.link
+            if link is None:
+                continue  # no worker was available; resolved below
+            try:
+                link.send(record.message)
+            except (OSError, ProtocolError):
+                self._handle_link_loss(link)
+        with self._cond:
+            # Tasks that never found a worker fail the run up front.
+            if any(r.link is None for r in records) and run.failure is None:
+                self._fail_run_locked(
+                    run, _crash_error("no distributed workers are connected")
+                )
+            while run.remaining > 0 and run.failure is None:
+                if self._closed:
+                    self._fail_run_locked(
+                        run, _crash_error("distributed cluster shut down mid-map")
+                    )
+                    break
+                self._cond.wait(timeout=0.5)
+            if run.failure is not None:
+                raise run.failure
+            return [result for result in run.results]  # type: ignore[misc]
+
+    def _assign_locked(self, record: _TaskRecord) -> Optional[_WorkerLink]:
+        """Pick a live link round-robin; caller sends outside the lock."""
+        links = [link for link in self._links.values() if link.alive]
+        if not links:
+            record.link = None
+            return None
+        link = links[self._rr % len(links)]
+        self._rr += 1
+        record.link = link
+        link.outstanding[record.task_id] = record
+        return link
+
+    # -- per-link receive path ------------------------------------------
+    def _recv_loop(self, link: _WorkerLink) -> None:
+        try:
+            while True:
+                message = recv_message(link.sock)
+                if message is None:
+                    break
+                kind = message["type"]
+                if kind == "result":
+                    self._complete(
+                        link,
+                        message["task_id"],
+                        message.get("value"),
+                        float(message.get("seconds", 0.0)),
+                    )
+                elif kind == "error":
+                    self._fail_task(link, message["task_id"], message["error"])
+                elif kind == "fetch_weights":
+                    self._serve_fetch(link, message["context_id"], weights_only=True)
+                elif kind == "fetch_context":
+                    self._serve_fetch(link, message["context_id"], weights_only=False)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            self._handle_link_loss(link)
+
+    def _serve_fetch(self, link: _WorkerLink, context_id: str, weights_only: bool) -> None:
+        with self._lock:
+            state = self._contexts.get(context_id)
+            state = dict(state) if state is not None else None
+        try:
+            if state is None:
+                link.send({"type": "context", "context_id": context_id, "missing": True})
+            elif weights_only:
+                link.send(
+                    {
+                        "type": "weights",
+                        "context_id": context_id,
+                        "version": state["version"],
+                        "data": state["weights"],
+                    }
+                )
+            else:
+                link.send(self._context_message(state))
+        except (OSError, ProtocolError):
+            self._handle_link_loss(link)
+
+    def _complete(
+        self, link: _WorkerLink, task_id: int, value: Any, seconds: float
+    ) -> None:
+        with self._cond:
+            record = self._pending.pop(task_id, None)
+            link.outstanding.pop(task_id, None)
+            if record is None:
+                return  # stale: its run already failed
+            run = record.run
+            run.results[record.index] = (value, seconds, link.worker_id)
+            run.remaining -= 1
+            if run.remaining == 0:
+                self._cond.notify_all()
+
+    def _fail_task(self, link: _WorkerLink, task_id: int, error: BaseException) -> None:
+        """A task raised deterministically: propagate, never retry."""
+        with self._cond:
+            record = self._pending.pop(task_id, None)
+            link.outstanding.pop(task_id, None)
+            if record is None:
+                return
+            self._fail_run_locked(record.run, error)
+
+    def _fail_run_locked(self, run: _MapRun, error: BaseException) -> None:
+        if run.failure is None:
+            run.failure = error
+        for task_id in [t for t, r in self._pending.items() if r.run is run]:
+            record = self._pending.pop(task_id)
+            if record.link is not None:
+                record.link.outstanding.pop(task_id, None)
+        self._cond.notify_all()
+
+    def _handle_link_loss(self, link: _WorkerLink) -> None:
+        """A worker vanished: drop the link, resubmit its orphans."""
+        resubmissions: List[Tuple[_WorkerLink, _TaskRecord]] = []
+        with self._cond:
+            if not link.alive:
+                return
+            link.alive = False
+            self._links.pop(link.worker_id, None)
+            orphans = list(link.outstanding.values())
+            link.outstanding.clear()
+            if not self._closed:
+                self.worker_losses += 1
+            for record in orphans:
+                if record.task_id not in self._pending:
+                    continue
+                run = record.run
+                record.retries += 1
+                if record.retries > run.max_retries:
+                    self._pending.pop(record.task_id, None)
+                    self._fail_run_locked(
+                        run,
+                        _crash_error(
+                            f"task resubmitted {run.max_retries} times across "
+                            f"lost workers; giving up"
+                        ),
+                    )
+                    continue
+                target = self._assign_locked(record)
+                if target is None:
+                    self._pending.pop(record.task_id, None)
+                    self._fail_run_locked(
+                        run,
+                        _crash_error(
+                            "lost the last distributed worker with tasks in flight"
+                        ),
+                    )
+                    continue
+                resubmissions.append((target, record))
+            self._cond.notify_all()
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+        for target, record in resubmissions:
+            try:
+                target.send(record.message)
+            except (OSError, ProtocolError):
+                self._handle_link_loss(target)
+
+    # -- shutdown -------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            links = list(self._links.values())
+            self._cond.notify_all()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for link in links:
+            try:
+                link.send({"type": "shutdown"})
+            except (OSError, ProtocolError):
+                pass
+        if wait:
+            for thread in self._local_threads:
+                thread.join(timeout=5.0)
+        for link in links:
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Engine-side context handle
+# ----------------------------------------------------------------------
+class DistributedContext:
+    """Engine-side handle on one supernet published to the cluster.
+
+    The same surface :class:`~.worker.RemoteShardContext` offers the
+    engine — ``ref()`` / ``publish()`` / ``fast_forward()`` /
+    ``release()`` — with the seqlock segment replaced by versioned
+    broadcast state held in the cluster.
+    """
+
+    def __init__(self, cluster: _Cluster, supernet: Any, spec_bytes: bytes):
+        self.cluster = cluster
+        self.supernet = supernet
+        self.param_arrays = [p.data for p in supernet.parameters()]
+        self.layout = _weights_layout(self.param_arrays)
+        self.context_id = next_context_id()
+        self.version = 1
+        self._released = False
+        register_local_context(self.context_id, supernet)
+        cluster.register_context(
+            self.context_id,
+            spec_bytes,
+            tuple(self.layout),
+            self.version,
+            _snapshot_weights(self.param_arrays),
+        )
+
+    def ref(self) -> RemoteContextRef:
+        """A picklable reference stamped with the current version.
+
+        No shared-memory segments exist here: the spec travelled in the
+        context broadcast and weights travel in version messages, so the
+        segment fields are empty and only ``context_id``/``version`` do
+        the work.
+        """
+        return RemoteContextRef(
+            context_id=self.context_id,
+            spec_segment="",
+            weights_segment=None,
+            layout=tuple(self.layout),
+            version=self.version,
+        )
+
+    def publish(self) -> int:
+        """Broadcast the live parameters as the next weight version."""
+        self.version += 1
+        self.cluster.update_weights(
+            self.context_id, self.version, _snapshot_weights(self.param_arrays)
+        )
+        return self.version
+
+    def fast_forward(self, version: int) -> int:
+        """Republish past a checkpoint's recorded version (monotonic
+        across crash/resume, so stale workers always refresh)."""
+        self.version = max(self.version, int(version)) + 1
+        self.cluster.update_weights(
+            self.context_id, self.version, _snapshot_weights(self.param_arrays)
+        )
+        return self.version
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        unregister_local_context(self.context_id)
+        self.cluster.release_context(self.context_id)
+
+
+def build_distributed_context(
+    supernet: Any, cluster_factory: Callable[[], _Cluster]
+) -> Optional[DistributedContext]:
+    """Validate and publish ``supernet``, or ``None`` if it cannot travel.
+
+    The same strict registration-time probe the process backend runs: the
+    spec must survive a pickle round trip and rebuild into a supernet
+    whose parameter shapes and dtypes match exactly, and parameters must
+    be float64 (the broadcast byte layout assumes it).  Any failure keeps
+    the search on the always-correct in-process path — and skips cluster
+    startup entirely.
+    """
+    try:
+        arrays = [p.data for p in supernet.parameters()]
+        if not arrays or any(a.dtype != np.float64 for a in arrays):
+            return None
+        spec_bytes = pickle.dumps(worker_spec_for(supernet))
+        rebuilt = build_supernet_from_spec(pickle.loads(spec_bytes))
+        rebuilt_arrays = [p.data for p in rebuilt.parameters()]
+        if [(a.shape, a.dtype) for a in rebuilt_arrays] != [
+            (a.shape, a.dtype) for a in arrays
+        ]:
+            return None
+        return DistributedContext(cluster_factory(), supernet, spec_bytes)
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class DistributedBackend(ExecutionBackend):
+    """Fan picklable tasks out across worker *hosts* over TCP.
+
+    The cross-host leg of the ladder: same determinism contract, same
+    engine surface as :class:`~.backends.ProcessPoolBackend`, different
+    failure domain.  Key differences from the process pool:
+
+    * **weights are pushed, not shared** — ``publish()`` broadcasts a
+      versioned weight message; a worker scoring a task stamped with a
+      newer version re-fetches first (the shm seqlock, generalized);
+    * **loss is per-task, not per-map** — a dead host orphans only its
+      assigned tasks, which are resubmitted to survivors under a bounded
+      per-task retry budget before
+      :class:`~repro.runtime.errors.WorkerCrashError` surfaces;
+    * **membership is open** — workers may join at any time (``repro
+      worker --connect``); by default the cluster also spawns loopback
+      worker threads so the backend works standalone.
+    """
+
+    name = "distributed"
+    remote = True
+
+    #: per-task resubmissions tolerated before the map gives up
+    max_task_retries = 2
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        seed: int = 0,
+        bind: Optional[str] = None,
+        spawn_local: Optional[bool] = None,
+        shared: bool = True,
+        worker_timeout: float = 30.0,
+    ):
+        super().__init__(
+            seed=seed,
+            workers=workers if workers is not None else default_worker_count(),
+        )
+        env_bind = os.environ.get(DIST_BIND_ENV_VAR)
+        self._bind = bind if bind is not None else (env_bind or DEFAULT_BIND)
+        # An explicit bind (flag or env) implies external workers will
+        # connect; the loopback complement is for the standalone case.
+        if spawn_local is None:
+            spawn_local = bind is None and not env_bind
+        self._spawn_local = spawn_local
+        self._shared = shared
+        self._owned_cluster: Optional[_Cluster] = None
+        self._active_cluster: Optional[_Cluster] = None
+        self._losses_before = 0
+        self._context: Optional[DistributedContext] = None
+        self.worker_timeout = worker_timeout
+
+    # -- cluster lifecycle ----------------------------------------------
+    def _cluster_key(self) -> Tuple[Any, ...]:
+        return ("distributed", self.workers, self._bind, self._spawn_local)
+
+    def _cluster(self) -> _Cluster:
+        if self._active_cluster is not None and not self._active_cluster._closed:
+            return self._active_cluster
+        factory = lambda: _Cluster(  # noqa: E731
+            self.workers, bind=self._bind, spawn_local=self._spawn_local
+        )
+        if self._shared:
+            cluster = _shared_pool(self._cluster_key(), factory)  # type: ignore[arg-type]
+            if cluster._closed:
+                # A shutdown_pools() happened since; replace the corpse.
+                _discard_shared_pool(self._cluster_key(), cluster)  # type: ignore[arg-type]
+                cluster = _shared_pool(self._cluster_key(), factory)  # type: ignore[arg-type]
+        else:
+            if self._owned_cluster is None or self._owned_cluster._closed:
+                self._owned_cluster = factory()
+            cluster = self._owned_cluster
+        if self._active_cluster is not cluster:
+            self._active_cluster = cluster
+            self._losses_before = cluster.worker_losses
+        return cluster
+
+    @property
+    def address(self) -> str:
+        """``host:port`` external workers connect to (binds lazily)."""
+        return format_address(self._cluster().address)
+
+    @property
+    def worker_losses(self) -> int:
+        """Hosts lost since this backend first touched its cluster."""
+        if self._active_cluster is None:
+            return 0
+        return self._active_cluster.worker_losses - self._losses_before
+
+    @property
+    def host_count(self) -> int:
+        """Currently connected workers (the ``engine.hosts`` gauge)."""
+        if self._active_cluster is None:
+            return 0
+        return self._active_cluster.host_count
+
+    def wait_for_workers(self, count: Optional[int] = None, timeout: Optional[float] = None) -> int:
+        """Block until ``count`` (default: all) workers are connected."""
+        return self._cluster().wait_for_workers(
+            count if count is not None else self.workers,
+            timeout if timeout is not None else self.worker_timeout,
+        )
+
+    # -- supernet context ----------------------------------------------
+    def register_context(self, supernet: Any) -> Optional[DistributedContext]:
+        """Publish ``supernet`` to the cluster (or ``None`` if it cannot
+        travel / remote execution buys nothing at one worker)."""
+        if self.workers <= 1:
+            return None
+        if self._context is not None:
+            self._context.release()
+        self._context = build_distributed_context(supernet, self._cluster)
+        return self._context
+
+    # -- execution ------------------------------------------------------
+    def _can_ship(self, fn: Callable, items: Sequence) -> bool:
+        try:
+            pickle.dumps(fn)
+            if items:
+                pickle.dumps(items[0])
+            return True
+        except Exception:
+            return False
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        if fn is run_stage_task and all(isinstance(i, StageTask) for i in items):
+            ctx = self._context
+            if ctx is None or any(
+                t.context.context_id != ctx.context_id for t in items  # type: ignore[attr-defined]
+            ):
+                return [fn(item) for item in items]
+            messages = [{"type": "task", "task": task} for task in items]
+            unwrap = False
+        elif self._can_ship(fn, items):
+            messages = [{"type": "call", "fn": fn, "item": item} for item in items]
+            unwrap = True
+        else:
+            return [fn(item) for item in items]
+        cluster = self._cluster()
+        if cluster.wait_for_workers(1, self.worker_timeout) < 1:
+            # Nobody ever connected: the in-process path is always right.
+            return [fn(item) for item in items]
+        results = cluster.run_map(messages, self.max_task_retries)
+        if unwrap:
+            return [value for value, _, _ in results]
+        # Stage tasks keep the (value, seconds, worker_id) triple —
+        # the same contract run_stage_task has, with the worker id
+        # replacing the pid so spans are labelled per host.
+        return results  # type: ignore[return-value]
+
+    # -- checkpoint state ----------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["weights_version"] = (
+            int(self._context.version) if self._context is not None else 0
+        )
+        return state
+
+    def load_state_dict(self, state) -> None:
+        super().load_state_dict(state)
+        if self._context is not None:
+            self._context.fast_forward(int(state.get("weights_version", 0)))
+
+    def close(self) -> None:
+        if self._context is not None:
+            self._context.release()
+            self._context = None
+        if self._owned_cluster is not None:
+            self._owned_cluster.shutdown(wait=True)
+            self._owned_cluster = None
+        self._active_cluster = None
+
+
+__all__ = [
+    "DIST_BIND_ENV_VAR",
+    "DistributedBackend",
+    "DistributedContext",
+    "WorkerHost",
+    "build_distributed_context",
+    "run_worker",
+]

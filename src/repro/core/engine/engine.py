@@ -355,6 +355,14 @@ class SearchEngine:
         must keep counting across a crash/resume rather than roll back
         with the snapshot.
         """
+        hosts = getattr(self.backend, "host_count", None)
+        if hosts is not None:
+            # Connected worker hosts is live membership, not replayable
+            # state: a gauge, refreshed every step (hosts join and drop
+            # at any time under the distributed backend).
+            self.telemetry.gauge("engine.hosts").set(
+                float(hosts), backend=self.backend.name
+            )
         losses = getattr(self.backend, "worker_losses", None)
         if losses is None:
             return
@@ -529,13 +537,17 @@ class SearchEngine:
             telemetry.counter("engine.ipc.bytes").inc(
                 payload_nbytes(tasks), backend=self.backend.name
             )
-            for _, seconds, pid in results:
+            for _, seconds, worker in results:
+                # Process workers report their pid (int); distributed
+                # workers report a host-qualified worker id (str), so
+                # spans aggregate per host across the cluster.
+                label = {"pid": worker} if isinstance(worker, int) else {"host": worker}
                 telemetry.trace.record(
                     "worker",
                     seconds,
                     stage=stage,
                     backend=self.backend.name,
-                    pid=pid,
+                    **label,
                 )
         return [value for value, _, _ in results]
 

@@ -209,6 +209,25 @@ def next_context_id() -> str:
 # ----------------------------------------------------------------------
 # Task execution
 # ----------------------------------------------------------------------
+def execute_stage_kind(supernet: Any, kind: str, payload: Tuple[Any, ...]) -> Any:
+    """Run one stage-task kind against ``supernet``.
+
+    The single kind dispatch shared by every remote executor: process
+    pools call it through :func:`run_stage_task`, distributed worker
+    hosts call it directly against their rehydrated supernet.
+    """
+    if kind == "quality_many":
+        arch, inputs_seq, labels_seq = payload
+        return [float(v) for v in supernet.quality_many(arch, inputs_seq, labels_seq)]
+    if kind == "quality":
+        arch, inputs, labels = payload
+        return float(supernet.quality(arch, inputs, labels))
+    if kind == "quality_split":
+        arch, inputs, labels, rng = payload
+        return float(supernet.quality_split(arch, inputs, labels, rng))
+    raise ValueError(f"unknown stage-task kind {kind!r}")
+
+
 def run_stage_task(task: StageTask) -> Tuple[Any, float, int]:
     """Execute one stage task; returns ``(value, seconds, pid)``.
 
@@ -218,19 +237,7 @@ def run_stage_task(task: StageTask) -> Tuple[Any, float, int]:
     """
     start = time.perf_counter()
     supernet = _context_for(task.context)
-    if task.kind == "quality_many":
-        arch, inputs_seq, labels_seq = task.payload
-        value: Any = [
-            float(v) for v in supernet.quality_many(arch, inputs_seq, labels_seq)
-        ]
-    elif task.kind == "quality":
-        arch, inputs, labels = task.payload
-        value = float(supernet.quality(arch, inputs, labels))
-    elif task.kind == "quality_split":
-        arch, inputs, labels, rng = task.payload
-        value = float(supernet.quality_split(arch, inputs, labels, rng))
-    else:
-        raise ValueError(f"unknown stage-task kind {task.kind!r}")
+    value = execute_stage_kind(supernet, task.kind, task.payload)
     return value, time.perf_counter() - start, os.getpid()
 
 

@@ -289,7 +289,10 @@ class CheckpointStore:
             "step": int(step),
             "seq": seq,
             "files": files,
+            # Wall clock for humans; monotonic anchor so age/ordering
+            # math within one process survives clock steps.
             "created_at": time.time(),
+            "created_monotonic": time.monotonic(),
         }
         manifest["snapshots"].append(entry)
         manifest["next_seq"] = seq + 1

@@ -67,14 +67,18 @@ class SearchInterrupted(Exception):
 
 
 class WorkerCrashError(RuntimeError):
-    """A backend lost worker processes beyond its resubmission budget.
+    """A backend lost workers beyond its resubmission budget.
 
     Raised by :class:`~repro.core.engine.backends.ProcessPoolBackend`
     after a ``map`` survived ``max_map_retries`` broken pools and broke
-    again.  Deliberately a ``RuntimeError`` subclass: losing workers is
-    a transient infrastructure failure (OOM kills, preemptions), so the
-    supervisor's restart loop classifies it retryable and resumes the
-    search from its last snapshot rather than giving up.
+    again, and by
+    :class:`~repro.core.engine.distributed.DistributedBackend` when a
+    task burned its per-task retries across lost hosts or the last
+    connected worker vanished mid-map.  Deliberately a ``RuntimeError``
+    subclass: losing workers is a transient infrastructure failure (OOM
+    kills, preemptions, network partitions), so the supervisor's restart
+    loop classifies it retryable and resumes the search from its last
+    snapshot rather than giving up.
     """
 
 

@@ -22,6 +22,7 @@ from .protocol import (
     decode_response,
     encode_request,
     raise_for_response,
+    read_line,
 )
 
 PathLike = Union[str, pathlib.Path]
@@ -48,24 +49,15 @@ class ServiceClient:
                     f"start one with: repro serve --spool <dir>"
                 ) from None
             sock.sendall(encode_request(verb, args))
-            line = self._read_line(sock)
+            # Shared framing: a daemon dying mid-line raises
+            # ProtocolError("truncated frame ...") here instead of
+            # handing a partial buffer to the JSON decoder.
+            line = read_line(sock)
         finally:
             sock.close()
         if not line:
             raise ProtocolError("daemon closed the connection without replying")
         return raise_for_response(decode_response(line))
-
-    @staticmethod
-    def _read_line(sock: socket.socket) -> bytes:
-        chunks = []
-        while True:
-            chunk = sock.recv(65536)
-            if not chunk:
-                break
-            chunks.append(chunk)
-            if b"\n" in chunk:
-                break
-        return b"".join(chunks).split(b"\n", 1)[0]
 
     # -- verbs ----------------------------------------------------------
     def submit(self, tenant: str, spec: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:

@@ -39,6 +39,7 @@ from .protocol import (
     decode_request,
     error_response,
     ok_response,
+    read_line,
 )
 from .queue import JobQueue, TERMINAL_STATES
 from .scheduler import JobScheduler, SchedulerConfig
@@ -133,7 +134,11 @@ class ServiceDaemon:
                 {
                     "pid": os.getpid(),
                     "socket": str(self.socket_path),
+                    # Wall clock for humans; monotonic anchor for uptime
+                    # math, so a clock step (NTP, suspend) cannot make
+                    # pollers compute negative or inflated uptimes.
                     "started_at": time.time(),
+                    "started_monotonic": self._started_monotonic,
                     "recovered_jobs": [r.job_id for r in recovered],
                 },
                 indent=2,
@@ -184,11 +189,14 @@ class ServiceDaemon:
 
     # -- per-connection handling ---------------------------------------
     def _serve_connection(self, conn: socket.socket) -> None:
+        # The read sits *inside* the typed-error try: an oversized or
+        # truncated request raises ProtocolError, which must reach the
+        # client as a typed error response, not a bare connection drop.
         try:
             with conn:
                 conn.settimeout(10.0)
-                line = self._read_line(conn)
                 try:
+                    line = read_line(conn, MAX_REQUEST_BYTES)
                     verb, args = decode_request(line)
                     data = self._dispatch(verb, args)
                 except ServiceError as error:
@@ -197,22 +205,6 @@ class ServiceDaemon:
                     conn.sendall(ok_response(data))
         except OSError:
             pass  # client went away mid-exchange; nothing to clean up
-
-    @staticmethod
-    def _read_line(conn: socket.socket) -> bytes:
-        chunks = []
-        total = 0
-        while True:
-            chunk = conn.recv(65536)
-            if not chunk:
-                break
-            chunks.append(chunk)
-            total += len(chunk)
-            if b"\n" in chunk:
-                break
-            if total > MAX_REQUEST_BYTES:
-                raise ProtocolError("request line exceeds 1 MiB")
-        return b"".join(chunks).split(b"\n", 1)[0]
 
     # -- verbs ----------------------------------------------------------
     def _dispatch(self, verb: str, args: Dict[str, Any]) -> Any:

@@ -24,7 +24,9 @@ the matching typed exception client-side, so callers catch
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Tuple, Type
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple, Type
 
 #: Version stamped on every request and response line.
 PROTOCOL_VERSION = 1
@@ -175,3 +177,103 @@ def raise_for_response(payload: Dict[str, Any]) -> Any:
     error = payload.get("error") or {}
     cls = ERROR_TYPES.get(error.get("code", ""), ServiceError)
     raise cls(error.get("message", "unspecified service error"))
+
+
+# ----------------------------------------------------------------------
+# Socket I/O: newline framing (NDJSON verbs) and length-prefixed frames
+# ----------------------------------------------------------------------
+def read_line(sock: socket.socket, max_bytes: Optional[int] = None) -> bytes:
+    """Read one ``\\n``-terminated line; returns the bytes before it.
+
+    A peer may split the line across arbitrarily many ``send`` calls or
+    deliver trailing bytes after the newline in the same segment — both
+    are handled: we accumulate until the first newline and ignore
+    anything after it (the protocol is one request per connection).
+
+    EOF before any byte arrives returns ``b""`` (clean close, e.g. a
+    liveness probe).  EOF with a non-empty buffer and no newline is a
+    *truncated frame* — the peer died mid-line — and raises
+    :class:`ProtocolError` rather than handing the caller a partial
+    line that would surface as a confusing JSON parse error.  A line
+    longer than ``max_bytes`` (newline still unseen) also raises
+    :class:`ProtocolError`.
+    """
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            if total:
+                raise ProtocolError(
+                    f"truncated frame: peer closed after {total} bytes "
+                    f"with no newline"
+                )
+            return b""
+        chunks.append(chunk)
+        total += len(chunk)
+        if b"\n" in chunk:
+            return b"".join(chunks).split(b"\n", 1)[0]
+        if max_bytes is not None and total > max_bytes:
+            raise ProtocolError(
+                f"request line exceeds {max_bytes} bytes"
+            )
+
+
+#: 8-byte big-endian unsigned length prefix for binary frames.
+FRAME_HEADER = struct.Struct(">Q")
+
+
+def recv_exact(sock: socket.socket, nbytes: int) -> Optional[bytes]:
+    """Read exactly ``nbytes``; ``None`` on clean EOF at byte 0.
+
+    EOF partway through is a truncated frame and raises
+    :class:`ProtocolError` — the distinction lets callers treat a
+    connection closed *between* frames as a normal hang-up while a
+    close *inside* one is always an error.
+    """
+    parts = []
+    remaining = nbytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == nbytes:
+                return None
+            raise ProtocolError(
+                f"truncated frame: peer closed with {remaining} of "
+                f"{nbytes} bytes unread"
+            )
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def read_frame(sock: socket.socket, max_bytes: Optional[int] = None) -> Optional[bytes]:
+    """Read one length-prefixed frame; ``None`` on clean EOF.
+
+    The binary sibling of :func:`read_line`, shared by the service
+    protocol and the distributed engine transport: an 8-byte big-endian
+    length followed by that many payload bytes.  Oversize frames and
+    mid-frame EOF raise :class:`ProtocolError`.
+    """
+    header = recv_exact(sock, FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if max_bytes is not None and length > max_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    if length == 0:
+        return b""
+    payload = recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError(
+            f"truncated frame: peer closed before any of {length} "
+            f"payload bytes arrived"
+        )
+    return payload
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one length-prefixed frame (header + payload, one sendall)."""
+    sock.sendall(FRAME_HEADER.pack(len(payload)) + payload)

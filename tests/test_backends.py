@@ -14,11 +14,16 @@ map, per-task rng splitting, checkpointable split counter) and of the
 import os
 import pickle
 import signal
+import socket
+import subprocess
+import sys
+import threading
 
 import numpy as np
 import pytest
 
 from repro.core import (
+    DistributedBackend,
     PerformanceObjective,
     ProcessPoolBackend,
     group_unique_architectures,
@@ -717,4 +722,327 @@ class TestEngineTelemetry:
         )
         assert stats is not None and stats["count"] == tasks.value(
             stage="score", backend="threads"
+        )
+
+
+class TestDistributedContract:
+    """Generic map contract of the TCP backend (loopback workers)."""
+
+    def test_map_preserves_order(self):
+        backend = DistributedBackend(workers=2, seed=0)
+        items = list(range(16))
+        assert backend.map(_square, items) == [i * i for i in items]
+
+    def test_map_propagates_task_exceptions(self):
+        # A deterministic task failure travels back as a typed error
+        # message and re-raises controller-side — never a retry, never
+        # a WorkerCrashError.
+        backend = DistributedBackend(workers=2, seed=0)
+        with pytest.raises(ZeroDivisionError):
+            backend.map(_reciprocal, [1, 2, 0, 3])
+        assert backend.worker_losses == 0
+
+    def test_unpicklable_fn_degrades_to_local_map(self):
+        backend = DistributedBackend(workers=2, seed=0)
+        calls = []
+
+        def fn(x):  # closure: cannot travel over the wire
+            calls.append(x)
+            return x + 1
+
+        assert backend.map(fn, [1, 2, 3]) == [2, 3, 4]
+        assert calls == [1, 2, 3]
+
+    def test_single_worker_never_starts_a_cluster(self):
+        backend = DistributedBackend(workers=1, seed=0)
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert backend._active_cluster is None
+
+    def test_rng_streams_identical_to_serial(self):
+        serial = SerialBackend(seed=7)
+        dist = DistributedBackend(workers=2, seed=7)
+        for _ in range(3):
+            a = [rng.standard_normal(4) for rng in serial.rng_streams(5)]
+            b = [rng.standard_normal(4) for rng in dist.rng_streams(5)]
+            for x, y in zip(a, b):
+                np.testing.assert_array_equal(x, y)
+
+    def test_state_dict_carries_weights_version(self):
+        backend = DistributedBackend(workers=2, seed=0)
+        state = backend.state_dict()
+        assert state["name"] == "distributed"
+        assert state["weights_version"] == 0  # no supernet registered
+        DistributedBackend(workers=2).load_state_dict(state)
+
+    def test_resolve_backend_distributed_and_alias(self):
+        for spec in ("distributed", "dist"):
+            backend = resolve_backend(spec, workers=2)
+            assert isinstance(backend, DistributedBackend)
+            assert backend.workers == 2
+
+    def test_owned_cluster_released_on_close(self):
+        backend = DistributedBackend(workers=2, seed=0, shared=False)
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert backend._owned_cluster is not None
+        backend.close()
+        assert backend._owned_cluster is None
+
+
+class TestWorkerWireProtocol:
+    """WorkerHost against a scripted controller over a socketpair."""
+
+    def _supernet_and_layout(self):
+        from repro.core.engine.distributed import _weights_layout
+        from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
+
+        supernet = DlrmSuperNetwork(
+            DlrmSupernetConfig(num_tables=NUM_TABLES, seed=0)
+        )
+        arrays = [p.data for p in supernet.parameters()]
+        return supernet, arrays, _weights_layout(arrays)
+
+    def test_stale_task_refetches_weights_before_scoring(self):
+        from repro.core.engine.distributed import (
+            WorkerHost,
+            _HostContext,
+            _snapshot_weights,
+        )
+        from repro.core.engine.transport import recv_message, send_message
+
+        supernet, arrays, layout = self._supernet_and_layout()
+        worker_side, controller_side = socket.socketpair()
+        worker_side.settimeout(10.0)
+        controller_side.settimeout(10.0)
+        host = WorkerHost(("127.0.0.1", 1))  # never dials: socket injected
+        host._sock = worker_side
+        ctx = _HostContext(supernet, layout)
+        ctx.applied_version = 1
+        context_id = "ctx-stale-test"
+        host._contexts[context_id] = ctx
+        fresh = [a + 1.0 for a in arrays]
+        seen = {}
+
+        def controller():
+            message = recv_message(controller_side)
+            seen.update(message)
+            send_message(
+                controller_side,
+                {
+                    "type": "weights",
+                    "context_id": context_id,
+                    "version": 3,
+                    "data": _snapshot_weights(fresh),
+                },
+            )
+
+        thread = threading.Thread(target=controller)
+        thread.start()
+        try:
+            ref = RemoteContextRef(
+                context_id=context_id,
+                spec_segment="",
+                weights_segment=None,
+                layout=tuple(ctx.layout),
+                version=3,
+            )
+            got = host._context_for_task(ref)
+        finally:
+            thread.join()
+            worker_side.close()
+            controller_side.close()
+        assert got is ctx
+        assert seen["type"] == "fetch_weights" and seen["version"] == 3
+        assert ctx.applied_version == 3
+        np.testing.assert_array_equal(arrays[0], fresh[0])
+
+    def test_task_overtaking_context_broadcast_refetches(self):
+        # A worker that joined mid-search sees a task for a context it
+        # never received; it must ask and block until the spec arrives.
+        from repro.core.engine import worker as wmod
+        from repro.core.engine.distributed import WorkerHost, _snapshot_weights
+        from repro.core.engine.transport import recv_message, send_message
+
+        supernet, arrays, layout = self._supernet_and_layout()
+        worker_side, controller_side = socket.socketpair()
+        worker_side.settimeout(10.0)
+        controller_side.settimeout(10.0)
+        host = WorkerHost(("127.0.0.1", 1))
+        host._sock = worker_side
+        context_id = "ctx-late-join"
+        spec = pickle.dumps(wmod.worker_spec_for(supernet))
+
+        def controller():
+            message = recv_message(controller_side)
+            assert message["type"] == "fetch_context"
+            send_message(
+                controller_side,
+                {
+                    "type": "context",
+                    "context_id": context_id,
+                    "spec": spec,
+                    "layout": tuple(layout),
+                    "version": 1,
+                    "weights": _snapshot_weights(arrays),
+                },
+            )
+
+        thread = threading.Thread(target=controller)
+        thread.start()
+        try:
+            ref = RemoteContextRef(
+                context_id=context_id,
+                spec_segment="",
+                weights_segment=None,
+                layout=tuple(layout),
+                version=1,
+            )
+            got = host._context_for_task(ref)
+        finally:
+            thread.join()
+            worker_side.close()
+            controller_side.close()
+        assert got.applied_version == 1
+        np.testing.assert_array_equal(got.param_arrays[0], arrays[0])
+
+
+class TestDistributedEquivalence:
+    """Serial vs cross-host bit-identity: the acceptance criterion."""
+
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    def test_distributed_matches_serial(self, strategy):
+        build = BUILDERS[strategy]
+        serial = build(backend="serial").run()
+        dist_search = build(backend="distributed", workers=2)
+        assert dist_search._remote_active()  # scoring really crosses TCP
+        assert_results_identical(serial, dist_search.run(), build_space())
+
+    @pytest.mark.parametrize("strategy", sorted(BUILDERS))
+    def test_distributed_crash_resume_matches_serial(self, tmp_path, strategy):
+        build = BUILDERS[strategy]
+        reference = build(backend="serial").run()
+
+        store = CheckpointStore(tmp_path, keep_last=2)
+        injector = FaultInjector([FaultSpec("crash", step=5)])
+        dying = build(backend="distributed", workers=2)
+        injector.arm(dying, store)
+        with pytest.raises(InjectedCrash):
+            run_with_checkpoints(
+                dying, store=store, checkpoint_every=2, injector=injector
+            )
+        del dying
+
+        resumed = run_with_checkpoints(
+            build(backend="distributed", workers=2),
+            store=store,
+            checkpoint_every=2,
+        )
+        assert resumed.resume.resumed
+        assert_results_identical(reference, resumed.result, build_space())
+
+    def test_killed_worker_mid_shard_resubmits_and_matches_serial(self):
+        # Two *external* worker processes (the real `repro worker` CLI),
+        # one with a task budget that makes it vanish mid-search exactly
+        # like a SIGKILLed host; its orphaned tasks must resubmit to the
+        # survivor and the result must stay bit-identical to serial.
+        serial = build_single(backend="serial").run()
+        backend = DistributedBackend(
+            workers=2, seed=0, spawn_local=False, shared=False
+        )
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.path.join(
+                os.path.dirname(__file__), os.pardir, "src"
+            ),
+        )
+        procs = []
+        try:
+            address = backend.address  # binds the listener
+            for extra in (["--max-tasks", "5"], []):
+                procs.append(
+                    subprocess.Popen(
+                        [sys.executable, "-m", "repro", "worker",
+                         "--connect", address, *extra],
+                        env=env,
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                    )
+                )
+            assert backend.wait_for_workers(2, timeout=60.0) == 2
+            result = build_single(backend=backend).run()
+            assert backend.worker_losses >= 1  # the budgeted host died
+            assert_results_identical(serial, result, build_space())
+            out, err = procs[0].communicate(timeout=30.0)
+            assert procs[0].returncode == 0, err
+            assert "worker exited after 5 tasks" in out
+        finally:
+            backend.close()
+            for proc in procs:
+                if proc.poll() is None:
+                    try:
+                        proc.wait(timeout=30.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                proc.communicate()
+
+    def test_distributed_backend_state_rides_in_snapshots(self):
+        search = build_single(backend="distributed", workers=2)
+        state = search.state_dict()
+        backend_state = state["backend"]
+        assert backend_state["name"] == "distributed"
+        assert backend_state["weights_version"] >= 1  # published at build
+        fresh = build_single(backend="distributed", workers=2)
+        fresh.load_state_dict(state)
+        # Restore fast-forwards past the snapshot's version and
+        # rebroadcasts, so workers holding pre-crash weights refresh.
+        assert (
+            fresh.backend.state_dict()["weights_version"]
+            > backend_state["weights_version"]
+        )
+
+    def test_distributed_unpicklable_supernet_stays_in_process(self):
+        def run(backend):
+            teacher = CtrTeacher(
+                CtrTaskConfig(num_tables=NUM_TABLES, batch_size=8, seed=0)
+            )
+            search = SingleStepSearch(
+                space=build_space(),
+                supernet=SurrogateSuperNetwork(
+                    lambda a: 1.0 - 0.01 * a["emb0/width_delta"],
+                    noise_sigma=0.05,
+                    seed=11,
+                    split_noise=True,
+                ),
+                pipeline=SingleStepPipeline(teacher.next_batch),
+                reward_fn=relu_reward([PerformanceObjective("step_time", 1.0, -0.5)]),
+                performance_fn=capacity_cost,
+                config=SearchConfig(
+                    steps=STEPS, num_cores=4, warmup_steps=2, seed=0, backend=backend
+                ),
+            )
+            if isinstance(backend, DistributedBackend):
+                assert search._remote_ctx is None
+            return search.run()
+
+        assert_results_identical(
+            run("serial"), run(DistributedBackend(workers=2, seed=0)), build_space()
+        )
+
+    def test_distributed_engine_telemetry(self):
+        telemetry = Telemetry()
+        result = build_single(
+            backend="distributed", workers=2, telemetry=telemetry
+        ).run()
+        assert len(result.history) == STEPS
+        assert telemetry.gauge("engine.hosts").value(backend="distributed") == 2
+        assert telemetry.counter("engine.tasks").value(
+            stage="score", backend="distributed"
+        ) > 0
+        spans = telemetry.trace.registry.histogram("span.worker").series()
+        labels = [dict(key) for key in spans]
+        assert any(
+            entry.get("stage") == "score"
+            and entry.get("backend") == "distributed"
+            and "host" in entry
+            for entry in labels
         )
