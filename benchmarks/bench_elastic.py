@@ -1,0 +1,166 @@
+"""Once-for-all amortization: specialize per target vs search per target.
+
+The elastic workflow's economic claim: after one elastic training, each
+additional hardware target costs a *policy-only* specialization instead
+of a full train-while-search run.  The two runs need different horizons
+by construction — a full per-target search trains its supernet weights
+from scratch while searching, so it needs the quickstart's full horizon
+(60 steps, 10 of them warmup before the policy even updates), while a
+specialization searches against *stationary* quality and pricing (the
+frozen artifact) and needs only a short policy-convergence horizon.
+This benchmark runs both ways of covering the registered fleet (every
+platform in ``hardware.config.PLATFORMS``) and asserts the contract
+pinned in nightly CI: per additional target, specialization is **>= 5x
+cheaper** in wall-clock than the full per-target search — and that the
+short specialization horizon is not vacuous (its policy measurably
+converges: entropy drops, reward is live).
+
+Trajectory equivalence is not asserted here (the two approaches search
+different things by design); bit-identity of the elastic workflow
+itself is covered by ``tests/test_crash_resume.py`` and
+``tests/test_elastic.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import SearchConfig, SingleStepSearch, relu_reward
+from repro.data import CtrTaskConfig, CtrTeacher, SingleStepPipeline
+from repro.hardware import PLATFORMS
+from repro.runtime import save_elastic_artifact
+from repro.service.jobs import (
+    elastic_training_builder,
+    platform_performance_fn,
+    specialization_builder,
+)
+from repro.supernet import DlrmSuperNetwork, DlrmSupernetConfig
+
+from .common import emit, emit_json
+
+pytestmark = pytest.mark.slow
+
+#: the quickstart horizon: what one full per-target run costs (weights
+#: trained from scratch while searching, 10 warmup steps included)
+FULL_STEPS = 60
+FULL_WARMUP = 10
+#: one-time elastic training uses the same weight-training horizon
+ELASTIC_STEPS = 60
+#: policy-only convergence horizon against stationary rewards
+SPEC_STEPS = 10
+SEED = 0
+#: the nightly contract: one specialization must be at least this much
+#: cheaper than one full per-target search
+MIN_SPEEDUP = 5.0
+
+
+def build_full_search(space, platform_name):
+    """A conventional per-target run: weights and policy trained jointly."""
+    _, performance_fn, objectives = platform_performance_fn(space, platform_name)
+    teacher = CtrTeacher(CtrTaskConfig(num_tables=2, batch_size=64, seed=SEED))
+    return SingleStepSearch(
+        space=space,
+        supernet=DlrmSuperNetwork(DlrmSupernetConfig(num_tables=2, seed=SEED)),
+        pipeline=SingleStepPipeline(teacher.next_batch),
+        reward_fn=relu_reward(objectives),
+        performance_fn=performance_fn,
+        config=SearchConfig(
+            steps=FULL_STEPS, num_cores=4, warmup_steps=FULL_WARMUP, seed=SEED
+        ),
+    )
+
+
+def run_elastic_amortization(tmp_path):
+    space, schedule, factory = elastic_training_builder(ELASTIC_STEPS, SEED)
+    training = factory()
+    start = time.perf_counter()
+    training.run()
+    train_s = time.perf_counter() - start
+    artifact_dir = tmp_path / "artifact"
+    save_elastic_artifact(
+        artifact_dir, training.supernet, space, schedule,
+        trained_steps=ELASTIC_STEPS, seed=SEED,
+    )
+
+    rows = []
+    for name in PLATFORMS:
+        start = time.perf_counter()
+        result = build_full_search(space, name).run()
+        full_s = time.perf_counter() - start
+        full_arch = result.final_architecture
+
+        _, spec_factory = specialization_builder(
+            artifact_dir, name, SPEC_STEPS, SEED
+        )
+        start = time.perf_counter()
+        spec_result = spec_factory().run()
+        spec_s = time.perf_counter() - start
+        entropies = spec_result.entropies()
+        rows.append(
+            {
+                "platform": name,
+                "full_search_s": full_s,
+                "specialize_s": spec_s,
+                "speedup": full_s / spec_s,
+                "spec_entropy_initial": float(entropies[0]),
+                "spec_entropy_final": float(entropies[-1]),
+                "spec_final_reward": float(spec_result.rewards()[-1]),
+                "full_arch": [int(i) for i in space.indices_of(full_arch)],
+                "specialized_arch": [
+                    int(i)
+                    for i in space.indices_of(spec_result.final_architecture)
+                ],
+            }
+        )
+    return train_s, rows
+
+
+def test_specialization_amortizes_fleet(tmp_path):
+    train_s, rows = run_elastic_amortization(tmp_path)
+    num_targets = len(rows)
+    full_total = sum(r["full_search_s"] for r in rows)
+    spec_total = sum(r["specialize_s"] for r in rows)
+
+    text = format_table(
+        ["platform", "full search s", "specialize s", "speedup"],
+        [
+            [r["platform"], f"{r['full_search_s']:.2f}",
+             f"{r['specialize_s']:.2f}", f"{r['speedup']:.1f}x"]
+            for r in rows
+        ],
+    )
+    text += (
+        f"\nelastic training (once, {ELASTIC_STEPS} steps): {train_s:.2f}s"
+        f"\nfleet of {num_targets}: full-search total {full_total:.2f}s"
+        f" vs train-once + specialize {train_s + spec_total:.2f}s"
+    )
+    emit("bench_elastic", text)
+    emit_json(
+        "bench_elastic",
+        {
+            "full_steps": FULL_STEPS,
+            "spec_steps": SPEC_STEPS,
+            "elastic_steps": ELASTIC_STEPS,
+            "train_once_s": train_s,
+            "targets": rows,
+            "min_speedup_contract": MIN_SPEEDUP,
+        },
+    )
+
+    for row in rows:
+        # The short horizon is a real search, not a no-op: the policy
+        # sharpens against the frozen artifact's stationary rewards.
+        assert row["spec_entropy_final"] < row["spec_entropy_initial"], (
+            f"{row['platform']}: specialization policy did not converge"
+        )
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{row['platform']}: specialization only "
+            f"{row['speedup']:.1f}x cheaper than a full search "
+            f"(contract: >= {MIN_SPEEDUP}x)"
+        )
+    # The amortization direction the paper's economics rest on: covering
+    # the fleet from one artifact beats per-target full searches.
+    assert train_s + spec_total < full_total

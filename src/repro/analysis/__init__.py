@@ -1,6 +1,7 @@
 """Analysis utilities: Pareto fronts, bucketing, table formatting."""
 
 from .ascii_plot import ascii_scatter
+from .fleet import FleetEntry, fleet_table, mark_pareto
 from .correlation import ProxyErrorReport, proxy_relative_error, spearman_correlation
 from .report import (
     ConvergenceSummary,
@@ -21,6 +22,9 @@ from .tables import format_series, format_table
 __all__ = [
     "BucketStat",
     "ConvergenceSummary",
+    "FleetEntry",
+    "fleet_table",
+    "mark_pareto",
     "ProxyErrorReport",
     "ascii_scatter",
     "proxy_relative_error",

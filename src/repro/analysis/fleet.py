@@ -1,0 +1,92 @@
+"""Fleet-sweep presentation: per-device specialization results.
+
+The once-for-all workflow (:mod:`repro.core.elastic`) specializes one
+trained elastic supernet for every hardware target in the fleet; this
+module renders that sweep — one row per platform with the specialized
+architecture's quality, simulated timing on *that* platform, the
+resource its scaling is most sensitive to, and data-parallel cluster
+throughput — plus a Pareto marker over (quality, serving latency)
+across the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from .pareto import pareto_front
+from .tables import format_table
+
+__all__ = ["FleetEntry", "fleet_table", "mark_pareto"]
+
+
+@dataclass
+class FleetEntry:
+    """One platform's specialization outcome within a fleet sweep."""
+
+    platform: str
+    indices: List[int]
+    architecture: Dict[str, Any]
+    quality: float
+    reward: float
+    train_step_time: float
+    serving_latency: float
+    model_size: float
+    #: the resource whose scaling helps this architecture most on this
+    #: platform (:func:`repro.hardware.whatif.bottleneck`)
+    bottleneck: str
+    cluster_chips: int
+    cluster_step_time_s: float
+    examples_per_second: float
+    communication_bound: bool
+    #: non-dominated across the fleet on (quality up, serving latency
+    #: down); set by :func:`mark_pareto`
+    pareto: bool = field(default=False)
+
+
+def mark_pareto(entries: Sequence[FleetEntry]) -> List[FleetEntry]:
+    """Flag the fleet's non-dominated (quality, serving-latency) rows."""
+    entries = list(entries)
+    front = pareto_front(
+        entries,
+        quality=lambda e: e.quality,
+        cost=lambda e: e.serving_latency,
+    )
+    on_front = {id(e) for e in front}
+    for entry in entries:
+        entry.pareto = id(entry) in on_front
+    return entries
+
+
+def fleet_table(entries: Sequence[FleetEntry]) -> str:
+    """Aligned per-device table of a fleet sweep (Pareto rows starred)."""
+    rows = [
+        [
+            entry.platform,
+            f"{entry.quality:.4f}",
+            f"{entry.reward:.4f}",
+            f"{entry.serving_latency * 1e3:.3f}ms",
+            f"{entry.train_step_time * 1e3:.3f}ms",
+            f"{entry.model_size / 1e6:.1f}MB",
+            entry.bottleneck,
+            f"{entry.examples_per_second / 1e3:.1f}k/s@{entry.cluster_chips}",
+            "comm" if entry.communication_bound else "compute",
+            "*" if entry.pareto else "",
+        ]
+        for entry in entries
+    ]
+    return format_table(
+        [
+            "platform",
+            "quality",
+            "reward",
+            "serve_lat",
+            "train_step",
+            "size",
+            "bottleneck",
+            "cluster",
+            "bound",
+            "pareto",
+        ],
+        rows,
+    )

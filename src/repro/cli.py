@@ -9,6 +9,12 @@ Subcommands:
 * ``cost`` — the Section 7.3 cost accounting for a training budget;
 * ``search`` — a small end-to-end DLRM search (the quickstart);
   ``--telemetry-dir`` records metrics and an event log;
+* ``elastic-train`` — train a once-for-all elastic supernet under the
+  progressive-shrinking schedule, saved as a versioned artifact;
+* ``specialize`` — policy-only search against a trained artifact for
+  one hardware target (no weight updates, cache-hot);
+* ``fleet`` — specialize the same artifact for every registered
+  platform and print the per-device Pareto table;
 * ``report telemetry`` — summarize a telemetry directory;
 * ``perfmodel`` — two-phase performance-model training on a DLRM slice
   (``--jobs`` parallelizes the simulator sweep);
@@ -46,7 +52,13 @@ from .hardware import PLATFORMS, platform, simulate
 from .models import MbconvSpec, single_block_graph
 from .searchspace import per_block_cardinalities, table5_size_rows
 from .searchspace import DlrmSpaceConfig, dlrm_search_space
-from .service.jobs import dlrm_search_builder
+from .service.jobs import (
+    dlrm_search_builder,
+    elastic_training_builder,
+    fleet_sweep,
+    platform_performance_fn,
+    specialization_builder,
+)
 from .service.protocol import ServiceError
 
 # Exit codes (stable, documented above): success / failure / usage /
@@ -264,6 +276,152 @@ def cmd_supervise(args: argparse.Namespace) -> str:
             f"\ntelemetry written to {args.telemetry_dir} "
             f"(view with: python -m repro report telemetry {args.telemetry_dir})"
         )
+    return out
+
+
+def cmd_elastic_train(args: argparse.Namespace) -> str:
+    from .runtime import (
+        CheckpointStore,
+        GracefulShutdown,
+        SearchInterrupted,
+        run_with_checkpoints,
+        save_elastic_artifact,
+    )
+
+    telemetry = _make_telemetry(args)
+    space, schedule, factory = elastic_training_builder(
+        args.steps, args.seed, args.cache, telemetry=telemetry,
+        backend=args.backend, workers=args.workers,
+    )
+    engine = factory()
+    store = None
+    if args.checkpoint_dir is not None:
+        store = CheckpointStore(
+            args.checkpoint_dir, keep_last=args.keep_last, telemetry=telemetry
+        )
+    try:
+        with GracefulShutdown() as shutdown:
+            run = run_with_checkpoints(
+                engine,
+                store,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                should_stop=shutdown.should_stop,
+            )
+    except SearchInterrupted as stop:
+        raise CliError(str(stop), EXIT_INTERRUPTED) from None
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    artifact = save_elastic_artifact(
+        args.artifact_dir,
+        engine.supernet,
+        space,
+        schedule,
+        trained_steps=args.steps,
+        seed=args.seed,
+        metadata={"workload": "dlrm_quickstart"},
+    )
+    history = run.result.history
+    lines = [
+        f"elastic training: {len(history)} steps over {space.name} "
+        f"({schedule!r})",
+        format_table(
+            ["phase", "starts at", "free tags"],
+            [
+                [p.name, p.start_step, ", ".join(p.free_tags) or "-"]
+                for p in schedule.phases
+            ],
+        ),
+        f"quality: {history[0].mean_quality:.4f} -> "
+        f"{history[-1].mean_quality:.4f}",
+        f"artifact: {artifact.directory}  (weights sha256 "
+        f"{artifact.weights_sha[:12]}..., snapshot {artifact.snapshot_id})",
+        "specialize with: python -m repro specialize "
+        f"--artifact {artifact.directory} --platform <name>",
+    ]
+    if telemetry is not None:
+        lines.append(
+            f"telemetry written to {args.telemetry_dir} "
+            f"(view with: python -m repro report telemetry {args.telemetry_dir})"
+        )
+    return "\n".join(lines)
+
+
+def cmd_specialize(args: argparse.Namespace) -> str:
+    from .runtime import (
+        CheckpointStore,
+        GracefulShutdown,
+        SearchInterrupted,
+        run_with_checkpoints,
+    )
+
+    telemetry = _make_telemetry(args)
+    space, factory = specialization_builder(
+        args.artifact, args.platform, args.steps, args.seed, args.cache,
+        telemetry=telemetry, backend=args.backend, workers=args.workers,
+    )
+    engine = factory()
+    store = None
+    if args.checkpoint_dir is not None:
+        store = CheckpointStore(
+            args.checkpoint_dir, keep_last=args.keep_last, telemetry=telemetry
+        )
+    try:
+        with GracefulShutdown() as shutdown:
+            run = run_with_checkpoints(
+                engine,
+                store,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                should_stop=shutdown.should_stop,
+            )
+    except SearchInterrupted as stop:
+        raise CliError(str(stop), EXIT_INTERRUPTED) from None
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    result = run.result
+    out = format_report(space, result)
+    harness, performance_fn, _ = platform_performance_fn(space, args.platform)
+    metrics = performance_fn(result.final_architecture)
+    out += (
+        f"\non {harness.serve_hw.name}: "
+        f"serving latency {metrics['serving_latency'] * 1e3:.3f}ms  "
+        f"train step {metrics['train_step_time'] * 1e3:.3f}ms  "
+        f"model size {metrics['model_size'] / 1e6:.1f}MB"
+    )
+    if telemetry is not None:
+        out += (
+            f"\ntelemetry written to {args.telemetry_dir} "
+            f"(view with: python -m repro report telemetry {args.telemetry_dir})"
+        )
+    return out
+
+
+def cmd_fleet(args: argparse.Namespace) -> str:
+    from .analysis import fleet_table
+    from .runtime import load_elastic_artifact
+
+    artifact = load_elastic_artifact(args.artifact)
+    entries = fleet_sweep(
+        args.artifact,
+        args.steps,
+        args.seed,
+        platforms=args.platforms or None,
+        use_cache=args.cache,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    out = (
+        f"fleet sweep from {artifact.directory} "
+        f"(trained {artifact.trained_steps} steps, weights sha256 "
+        f"{artifact.weights_sha[:12]}...):\n"
+    )
+    out += fleet_table(entries)
+    starred = [e.platform for e in entries if e.pareto]
+    out += "\n* = fleet Pareto front on (quality, serving latency): "
+    out += ", ".join(starred) if starred else "(empty)"
     return out
 
 
@@ -556,6 +714,75 @@ def build_parser() -> argparse.ArgumentParser:
         "(fault-tolerance demo)",
     )
     supervise.set_defaults(handler=cmd_supervise)
+
+    elastic_train = sub.add_parser(
+        "elastic-train",
+        help="train a once-for-all elastic supernet, save it as an artifact",
+    )
+    add_search_args(elastic_train, checkpoint_dir_required=False)
+    elastic_train.add_argument(
+        "--artifact-dir",
+        required=True,
+        help="write the trained elastic artifact (weights + manifest) here",
+    )
+    elastic_train.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resume from the newest good snapshot in --checkpoint-dir",
+    )
+    elastic_train.set_defaults(handler=cmd_elastic_train)
+
+    specialize = sub.add_parser(
+        "specialize",
+        help="policy-only search against a trained elastic artifact "
+        "for one hardware target",
+    )
+    add_search_args(specialize, checkpoint_dir_required=False)
+    specialize.add_argument(
+        "--artifact",
+        required=True,
+        help="elastic artifact directory written by elastic-train",
+    )
+    specialize.add_argument(
+        "--platform",
+        required=True,
+        help=f"hardware target ({', '.join(sorted(PLATFORMS))}; "
+        "common aliases accepted)",
+    )
+    specialize.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resume from the newest good snapshot in --checkpoint-dir",
+    )
+    specialize.set_defaults(handler=cmd_specialize)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="specialize one trained artifact for every fleet platform "
+        "and print the per-device Pareto table",
+    )
+    fleet.add_argument(
+        "--artifact",
+        required=True,
+        help="elastic artifact directory written by elastic-train",
+    )
+    fleet.add_argument("--steps", type=positive_int, default=20)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--platforms",
+        nargs="*",
+        default=[],
+        metavar="NAME",
+        help="subset of platforms to sweep (default: all registered)",
+    )
+    fleet.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True
+    )
+    fleet.add_argument("--backend", choices=list(BACKEND_NAMES), default=None)
+    fleet.add_argument("--workers", type=positive_int, default=None)
+    fleet.set_defaults(handler=cmd_fleet)
 
     report = sub.add_parser(
         "report", help="render reports from run artifacts"

@@ -12,6 +12,7 @@ from .engine import (
     resolve_backend,
     shutdown_pools,
 )
+from .elastic import ElasticTraining, SpecializationSearch
 from .eval_runtime import (
     ArchMetricsCache,
     BatchPerformanceFn,
@@ -78,6 +79,7 @@ __all__ = [
     "BatchPerformanceFn",
     "CandidateRecord",
     "CategoricalPolicy",
+    "ElasticTraining",
     "EvalRuntime",
     "DistributedBackend",
     "EvalRuntimeStats",
@@ -112,6 +114,7 @@ __all__ = [
     "SearchConfig",
     "SearchResult",
     "SingleStepSearch",
+    "SpecializationSearch",
     "StepRecord",
     "SurrogateSuperNetwork",
     "TunasSearch",

@@ -235,6 +235,37 @@ class SingleStepPipeline(_TelemetryMixin):
                 len(self._outstanding)
             )
 
+    def release(self, batch: Batch) -> None:
+        """Retire a policy-scored batch that will never train weights.
+
+        Policy-only searches (see
+        :class:`repro.core.elastic.SpecializationSearch`) score candidates
+        on fresh traffic but never run a weight update, so without an
+        explicit release every batch record would stay outstanding for
+        the whole run — O(steps) bookkeeping growth.  Releasing still
+        requires the policy to have consumed the batch first, preserving
+        the ordering invariant.
+        """
+        state = self._outstanding.get(batch.batch_id)
+        if state is None:
+            if batch.batch_id > self._id_watermark:
+                raise PipelineProtocolError(
+                    f"batch {batch.batch_id} was never issued"
+                )
+            raise PipelineProtocolError(
+                f"batch {batch.batch_id} already fully consumed"
+            )
+        if state == "issued":
+            raise PipelineProtocolError(
+                f"batch {batch.batch_id}: only policy-scored batches may be "
+                "released (policy-before-release invariant)"
+            )
+        del self._outstanding[batch.batch_id]
+        if self._telemetry is not None:
+            self._telemetry.gauge("pipeline.outstanding").set(
+                len(self._outstanding)
+            )
+
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Checkpoint-ready snapshot of counters plus the source's state.

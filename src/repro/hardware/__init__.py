@@ -1,7 +1,16 @@
 """Hardware substrate: configs, roofline, simulator, power, testbed."""
 
 from .cluster import ClusterModel, ClusterStep, allreduce_time
-from .config import GPU_V100, HardwareConfig, PLATFORMS, TPU_V4, TPU_V4I, platform
+from .config import (
+    GPU_V100,
+    HardwareConfig,
+    PLATFORM_ALIASES,
+    PLATFORM_NAMES,
+    PLATFORMS,
+    TPU_V4,
+    TPU_V4I,
+    platform,
+)
 from .power import PowerReport, power_report, utilizations
 from .roofline import (
     RooflinePoint,
@@ -45,6 +54,8 @@ __all__ = [
     "MeasurementPolicy",
     "MeasurementTimeout",
     "OpTiming",
+    "PLATFORM_ALIASES",
+    "PLATFORM_NAMES",
     "PLATFORMS",
     "PerformanceSimulator",
     "PowerReport",

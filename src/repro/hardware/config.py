@@ -152,12 +152,38 @@ PLATFORMS: Dict[str, HardwareConfig] = {
     cfg.name: cfg for cfg in (TPU_V4, TPU_V4I, GPU_V100)
 }
 
+#: Registry-derived canonical names (what error messages enumerate).
+PLATFORM_NAMES = tuple(PLATFORMS)
 
-def platform(name: str) -> HardwareConfig:
-    """Look up a built-in platform by name."""
+#: Common shorthands accepted by :func:`platform`, normalized lowercase.
+PLATFORM_ALIASES: Dict[str, str] = {
+    "tpuv4": "tpu_v4",
+    "v4": "tpu_v4",
+    "tpuv4i": "tpu_v4i",
+    "v4i": "tpu_v4i",
+    "v100": "gpu_v100",
+    "gpuv100": "gpu_v100",
+    "volta": "gpu_v100",
+}
+
+
+def platform(name) -> HardwareConfig:
+    """Look up a built-in platform by name.
+
+    Accepts canonical registry names, case-insensitive spellings, the
+    aliases in :data:`PLATFORM_ALIASES`, or a :class:`HardwareConfig`
+    passed through unchanged (so call sites can take either).  Unknown
+    names enumerate the registered platforms, mirroring the
+    ``resolve_backend`` error contract.
+    """
+    if isinstance(name, HardwareConfig):
+        return name
+    key = str(name).strip().lower()
+    key = PLATFORM_ALIASES.get(key, key)
     try:
-        return PLATFORMS[name]
+        return PLATFORMS[key]
     except KeyError:
         raise ValueError(
-            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+            f"unknown platform {name!r}; expected one of {PLATFORM_NAMES} "
+            f"(aliases: {sorted(PLATFORM_ALIASES)})"
         ) from None

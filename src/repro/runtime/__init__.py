@@ -19,6 +19,14 @@ reproduces that layer at benchmark scale:
   across injected crashes.
 """
 
+from .artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_KIND,
+    ElasticArtifact,
+    load_elastic_artifact,
+    restore_elastic_supernet,
+    save_elastic_artifact,
+)
 from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text, file_sha256
 from .checkpoint import (
     CHECKPOINT_FORMAT,
@@ -63,7 +71,13 @@ from .supervisor import (
 )
 
 __all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_KIND",
     "CHECKPOINT_FORMAT",
+    "ElasticArtifact",
+    "load_elastic_artifact",
+    "restore_elastic_supernet",
+    "save_elastic_artifact",
     "FAULT_KINDS",
     "NON_RETRYABLE_TYPES",
     "WorkerCrashError",

@@ -111,6 +111,203 @@ def dlrm_search_builder(
 
 
 # ----------------------------------------------------------------------
+# The once-for-all elastic workload (train once, specialize per target)
+# ----------------------------------------------------------------------
+def elastic_training_builder(
+    steps: int,
+    seed: int,
+    use_cache: bool = True,
+    telemetry=None,
+    backend=None,
+    workers=None,
+    schedule=None,
+):
+    """The quickstart elastic training as ``(space, schedule, factory)``.
+
+    Same DLRM workload as :func:`dlrm_search_builder`, but trained as a
+    once-for-all elastic supernet: uniform candidates under the
+    progressive-shrinking ``schedule`` (default: the stock three-phase
+    schedule over ``steps``), weight updates only, no policy.
+    """
+    from ..core import SearchConfig
+    from ..core.elastic import ElasticTraining
+    from ..data import CtrTaskConfig, CtrTeacher, SingleStepPipeline
+    from ..searchspace import DlrmSpaceConfig, dlrm_search_space
+    from ..supernet import DlrmSuperNetwork, DlrmSupernetConfig, ShrinkSchedule
+
+    num_tables = 2
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2)
+    )
+    schedule = schedule or ShrinkSchedule.default(steps)
+
+    def factory() -> "ElasticTraining":
+        teacher = CtrTeacher(
+            CtrTaskConfig(num_tables=num_tables, batch_size=64, seed=seed)
+        )
+        return ElasticTraining(
+            space,
+            DlrmSuperNetwork(DlrmSupernetConfig(num_tables=num_tables, seed=seed)),
+            SingleStepPipeline(teacher.next_batch),
+            schedule=schedule,
+            config=SearchConfig(
+                steps=steps, num_cores=4, warmup_steps=0, seed=seed,
+                use_cache=use_cache, telemetry=telemetry,
+                backend=backend, workers=workers,
+            ),
+        )
+
+    return space, schedule, factory
+
+
+def platform_performance_fn(space, platform_name):
+    """Simulator-backed pricing of quickstart-DLRM candidates on one target.
+
+    Returns ``(harness, performance_fn, objectives)``: the timing
+    harness pointed at the target platform for both training and
+    serving, plus self-normalized latency/size objectives (targets are
+    the *baseline* architecture's metrics on that platform, so every
+    target prices candidates against its own roofline).
+    """
+    from ..core import PerformanceObjective
+    from ..hardware import platform
+    from ..models import DlrmTimingHarness, baseline_production_dlrm
+
+    hw = platform(platform_name)
+    harness = DlrmTimingHarness(
+        baseline_production_dlrm(num_tables=2), train_hw=hw, serve_hw=hw, seed=0
+    )
+    baseline_metrics = harness.metrics_from_simulator(space.default_architecture())
+    objectives = [
+        PerformanceObjective(
+            "serving_latency", baseline_metrics["serving_latency"], beta=-2.0
+        ),
+        PerformanceObjective(
+            "model_size", baseline_metrics["model_size"], beta=-0.5
+        ),
+    ]
+    return harness, harness.metrics_from_simulator, objectives
+
+
+def specialization_builder(
+    artifact_dir,
+    platform_name: str,
+    steps: int,
+    seed: int,
+    use_cache: bool = True,
+    telemetry=None,
+    backend=None,
+    workers=None,
+):
+    """A policy-only specialization against a trained elastic artifact.
+
+    Returns ``(space, factory)``; the factory restores the artifact's
+    frozen weights into a fresh supernet *before* engine construction,
+    so remote backends publish the trained weights (never republished —
+    the optimizer never steps) and the run stays cache-hot.
+    """
+    from ..core import SearchConfig, relu_reward
+    from ..core.elastic import SpecializationSearch
+    from ..data import CtrTaskConfig, CtrTeacher, SingleStepPipeline
+    from ..runtime import restore_elastic_supernet
+    from ..searchspace import DlrmSpaceConfig, dlrm_search_space
+    from ..supernet import DlrmSuperNetwork, DlrmSupernetConfig
+
+    num_tables = 2
+    space = dlrm_search_space(
+        DlrmSpaceConfig(num_tables=num_tables, num_dense_stacks=2)
+    )
+    harness, performance_fn, objectives = platform_performance_fn(
+        space, platform_name
+    )
+
+    def factory() -> "SpecializationSearch":
+        teacher = CtrTeacher(
+            CtrTaskConfig(num_tables=num_tables, batch_size=64, seed=seed)
+        )
+        supernet = DlrmSuperNetwork(
+            DlrmSupernetConfig(num_tables=num_tables, seed=seed)
+        )
+        restore_elastic_supernet(artifact_dir, supernet, space)
+        return SpecializationSearch(
+            space,
+            supernet,
+            SingleStepPipeline(teacher.next_batch),
+            reward_fn=relu_reward(objectives),
+            performance_fn=performance_fn,
+            config=SearchConfig(
+                steps=steps, num_cores=4, warmup_steps=0, seed=seed,
+                use_cache=use_cache, telemetry=telemetry,
+                backend=backend, workers=workers,
+            ),
+        )
+
+    return space, factory
+
+
+def fleet_sweep(
+    artifact_dir,
+    steps: int,
+    seed: int,
+    platforms=None,
+    use_cache: bool = True,
+    backend=None,
+    workers=None,
+    cluster_chips: int = 8,
+):
+    """Specialize one trained artifact for every fleet target.
+
+    Runs one :func:`specialization_builder` search per platform (all
+    against the same frozen weights) and returns the marked-Pareto
+    :class:`~repro.analysis.fleet.FleetEntry` rows: per-device final
+    architecture, quality/reward, simulated timing on that device, its
+    scaling bottleneck, and data-parallel cluster throughput.
+    """
+    from dataclasses import replace
+
+    from ..analysis import FleetEntry, mark_pareto
+    from ..hardware import ClusterModel, PLATFORMS, bottleneck, platform
+    from ..models.dlrm import build_graph
+
+    names = list(platforms) if platforms is not None else list(PLATFORMS)
+    entries = []
+    for name in names:
+        hw = platform(name)
+        space, factory = specialization_builder(
+            artifact_dir, name, steps, seed,
+            use_cache=use_cache, backend=backend, workers=workers,
+        )
+        result = factory().run()
+        final = result.final_architecture
+        harness, performance_fn, _ = platform_performance_fn(space, name)
+        metrics = performance_fn(final)
+        spec = harness.spec_of(final)
+        train_graph = build_graph(spec)
+        step = ClusterModel(
+            hw, lambda per_chip, _spec=spec: build_graph(replace(_spec, batch=per_chip))
+        ).step(cluster_chips, cluster_chips * spec.batch)
+        last = result.history[-1]
+        entries.append(
+            FleetEntry(
+                platform=hw.name,
+                indices=[int(i) for i in space.indices_of(final)],
+                architecture={k: _scalar(v) for k, v in final.items()},
+                quality=float(last.mean_quality),
+                reward=float(last.mean_reward),
+                train_step_time=float(metrics["train_step_time"]),
+                serving_latency=float(metrics["serving_latency"]),
+                model_size=float(metrics["model_size"]),
+                bottleneck=bottleneck(train_graph, hw),
+                cluster_chips=cluster_chips,
+                cluster_step_time_s=float(step.step_time_s),
+                examples_per_second=float(step.examples_per_second),
+                communication_bound=bool(step.communication_bound),
+            )
+        )
+    return mark_pareto(entries)
+
+
+# ----------------------------------------------------------------------
 # Job spec
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -2,6 +2,14 @@
 
 from .batching import StackedScoring, StackedScoringMixin, stack_named_inputs
 from .dlrm import DlrmSuperNetwork, DlrmSupernetConfig, WIDTH_INCREMENT
+from .elastic import (
+    ElasticLayerStack,
+    ElasticMlp,
+    ShrinkPhase,
+    ShrinkSchedule,
+    elastic_rank,
+    elastic_width,
+)
 from .mixture import (
     MixtureSuperNetwork,
     MixtureSupernetConfig,
@@ -16,6 +24,12 @@ __all__ = [
     "stack_named_inputs",
     "DlrmSuperNetwork",
     "DlrmSupernetConfig",
+    "ElasticLayerStack",
+    "ElasticMlp",
+    "ShrinkPhase",
+    "ShrinkSchedule",
+    "elastic_rank",
+    "elastic_width",
     "MixtureSuperNetwork",
     "MixtureSupernetConfig",
     "mixture_search_space",

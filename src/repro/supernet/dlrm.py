@@ -29,8 +29,6 @@ import numpy as np
 
 from ..nn import (
     Dense,
-    LowRankDense,
-    MaskedDense,
     MaskedEmbedding,
     Module,
     Tensor,
@@ -46,6 +44,7 @@ from ..searchspace.dlrm import (
     DENSE_WIDTH_DELTAS,
 )
 from .batching import StackedScoringMixin
+from .elastic import ElasticMlp, elastic_width
 
 #: Width quantum of embedding and MLP width deltas ("minimal increment of 8").
 WIDTH_INCREMENT = 8
@@ -110,62 +109,10 @@ class DlrmSupernetConfig:
         return self.base_top_depth + max(DENSE_DEPTH_DELTAS)
 
     def embedding_width(self, delta: int) -> int:
-        width = self.base_embedding_width + delta * WIDTH_INCREMENT
-        return max(WIDTH_INCREMENT, width)
+        return elastic_width(self.base_embedding_width, delta, WIDTH_INCREMENT)
 
     def vocab_size(self, scale: float) -> int:
         return max(1, int(round(self.base_vocab * scale)))
-
-
-class _MlpStack(Module):
-    """One MLP stack with shared full-rank and low-rank paths per layer."""
-
-    def __init__(
-        self,
-        input_width: int,
-        max_width: int,
-        max_depth: int,
-        rng: np.random.Generator,
-    ):
-        self.input_width = input_width
-        self.max_width = max_width
-        self.max_depth = max_depth
-        self.full_layers: List[MaskedDense] = []
-        self.lowrank_layers: List[LowRankDense] = []
-        for i in range(max_depth):
-            nin = input_width if i == 0 else max_width
-            self.full_layers.append(MaskedDense(nin, max_width, rng))
-            self.lowrank_layers.append(LowRankDense(nin, max_width, max_width, rng))
-
-    def forward(
-        self,
-        x: Tensor,
-        active_width: int,
-        active_depth: int,
-        low_rank_fraction: float,
-    ) -> Tensor:
-        if not (1 <= active_depth <= self.max_depth):
-            raise ValueError(f"active_depth {active_depth} outside [1, {self.max_depth}]")
-        if not (0 < active_width <= self.max_width):
-            raise ValueError(f"active_width {active_width} outside (0, {self.max_width}]")
-        for i in range(active_depth):
-            active_in = self.input_width if i == 0 else active_width
-            if low_rank_fraction >= 1.0:
-                x = self.full_layers[i](x, active_in=active_in, active_out=active_width)
-            else:
-                rank = max(
-                    WIDTH_INCREMENT,
-                    int(round(low_rank_fraction * active_width / WIDTH_INCREMENT))
-                    * WIDTH_INCREMENT,
-                )
-                rank = min(rank, active_width)
-                x = self.lowrank_layers[i](
-                    x,
-                    active_in=active_in,
-                    active_out=active_width,
-                    active_rank=rank,
-                )
-        return x
 
 
 class DlrmSuperNetwork(StackedScoringMixin, Module):
@@ -200,21 +147,23 @@ class DlrmSuperNetwork(StackedScoringMixin, Module):
                 )
                 per_scale = {scale: shared for scale in VOCAB_SCALES}
             self.embeddings.append(per_scale)
-        self.bottom = _MlpStack(
+        self.bottom = ElasticMlp(
             input_width=config.num_dense_features,
             max_width=config.max_bottom_width,
             max_depth=config.max_bottom_depth,
             rng=rng,
+            width_increment=WIDTH_INCREMENT,
         )
         interaction_width = (
             config.max_bottom_width
             + config.num_tables * config.max_embedding_width
         )
-        self.top = _MlpStack(
+        self.top = ElasticMlp(
             input_width=interaction_width,
             max_width=config.max_top_width,
             max_depth=config.max_top_depth,
             rng=rng,
+            width_increment=WIDTH_INCREMENT,
         )
         self.head = Dense(config.max_top_width, 1, rng, activation_name="linear")
 
@@ -265,11 +214,12 @@ class DlrmSuperNetwork(StackedScoringMixin, Module):
 
     # ------------------------------------------------------------------
     def _stack_width(self, arch: Architecture, prefix: str, base: int) -> int:
-        width = base + int(arch[f"{prefix}/width_delta"]) * WIDTH_INCREMENT
-        return max(WIDTH_INCREMENT, width)
+        return elastic_width(
+            base, int(arch[f"{prefix}/width_delta"]), WIDTH_INCREMENT
+        )
 
     def _stack_depth(
-        self, arch: Architecture, prefix: str, base: int, stack: _MlpStack
+        self, arch: Architecture, prefix: str, base: int, stack: ElasticMlp
     ) -> int:
         depth = base + int(arch[f"{prefix}/depth_delta"])
         return min(stack.max_depth, max(1, depth))

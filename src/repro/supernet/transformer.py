@@ -38,6 +38,8 @@ from ..nn import (
 )
 from ..searchspace.base import Architecture
 from ..searchspace.vit import DEPTH_DELTAS, HIDDEN_SIZES
+from .batching import StackedScoringMixin
+from .elastic import ElasticLayerStack
 
 
 @dataclass(frozen=True)
@@ -146,19 +148,27 @@ def _slice_last(tensor: Tensor, start: int, stop: int, active: int) -> Tensor:
     return tensor @ Tensor(shift)
 
 
-class TransformerSuperNetwork(Module):
+class TransformerSuperNetwork(StackedScoringMixin, Module):
     """Proxy super-network consuming ViT-space architectures."""
+
+    #: Decision-dependent control flow only (widths/depths/pooling come
+    #: from the architecture, shapes from the shape signature), so
+    #: compiled-graph replay is safe — the transformer rides the same
+    #: grouped batching and tape reuse as the DLRM/vision spaces.
+    tape_compatible = True
 
     def __init__(self, config: Optional[TransformerSupernetConfig] = None):
         self.config = config = config or TransformerSupernetConfig()
         rng = np.random.default_rng(config.seed)
         width = config.max_width
         self.embed = Dense(config.num_features, width, rng, activation_name="linear")
-        self.blocks: List[List[_TransformerLayer]] = [
-            [
-                _TransformerLayer(width, config.ffn_ratio, rng)
-                for _ in range(config.max_depth)
-            ]
+        self.blocks: List[ElasticLayerStack] = [
+            ElasticLayerStack(
+                [
+                    _TransformerLayer(width, config.ffn_ratio, rng)
+                    for _ in range(config.max_depth)
+                ]
+            )
             for _ in range(config.num_blocks)
         ]
         self.head = Dense(width, config.num_classes, rng, activation_name="linear")
@@ -166,7 +176,7 @@ class TransformerSuperNetwork(Module):
     def forward(self, arch: Architecture, inputs: Dict[str, np.ndarray]) -> Tensor:
         cfg = self.config
         x = self.embed(Tensor(inputs["x"]))
-        for b, layers in enumerate(self.blocks):
+        for b, stack in enumerate(self.blocks):
             hidden_size = int(arch[f"tfm{b}/hidden_size"])
             width = cfg.proxy_width(hidden_size)
             rank_fraction = float(arch[f"tfm{b}/low_rank"])
@@ -178,7 +188,7 @@ class TransformerSuperNetwork(Module):
             mask = np.zeros(cfg.max_width)
             mask[:width] = 1.0
             x = x.mask(mask)
-            for layer in layers[:depth]:
+            for layer in stack.active(depth):
                 x = layer(x, width=width, rank=rank, act_name=act_name, primer=primer)
             if bool(arch[f"tfm{b}/seq_pooling"]) and x.shape[1] >= 2:
                 if cfg.task == "lm":
@@ -195,21 +205,19 @@ class TransformerSuperNetwork(Module):
         pooled = x.mean(axis=1)
         return self.head(pooled)
 
-    def loss(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> Tensor:
-        logits = self.forward(arch, inputs)
+    def _flatten_lm(self, logits: Tensor, labels: np.ndarray):
+        batch, seq, classes = logits.shape
+        return logits.reshape(batch * seq, classes), np.asarray(labels).reshape(-1)
+
+    def loss_from_logits(self, logits: Tensor, labels: np.ndarray) -> Tensor:
         if self.config.task == "lm":
-            batch, seq, classes = logits.shape
-            logits = logits.reshape(batch * seq, classes)
-            labels = np.asarray(labels).reshape(-1)
+            logits, labels = self._flatten_lm(logits, labels)
         return softmax_cross_entropy(logits, labels)
 
-    def quality(self, arch: Architecture, inputs: Dict[str, np.ndarray], labels: np.ndarray) -> float:
-        """Top-1 (per-position for LM) accuracy of ``arch`` on one batch."""
-        logits = self.forward(arch, inputs)
+    def quality_from_logits(self, logits: Tensor, labels: np.ndarray) -> float:
+        """Top-1 (per-position for LM) accuracy from logits."""
         if self.config.task == "lm":
-            batch, seq, classes = logits.shape
-            logits = logits.reshape(batch * seq, classes)
-            labels = np.asarray(labels).reshape(-1)
+            logits, labels = self._flatten_lm(logits, labels)
         return accuracy(logits, labels)
 
 

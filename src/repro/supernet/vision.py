@@ -33,6 +33,7 @@ from ..nn import (
 from ..searchspace.base import Architecture
 from ..searchspace.cnn import DEPTH_DELTAS, EXPANSION_RATIOS, WIDTH_DELTAS
 from .batching import StackedScoringMixin
+from .elastic import ElasticLayerStack, elastic_width
 
 #: Width quantum of the proxy (channels per width-delta unit).
 WIDTH_INCREMENT = 4
@@ -68,7 +69,7 @@ class VisionSupernetConfig:
         return max(EXPANSION_RATIOS)
 
     def block_width(self, delta: int) -> int:
-        return max(WIDTH_INCREMENT, self.base_width + delta * WIDTH_INCREMENT)
+        return elastic_width(self.base_width, delta, WIDTH_INCREMENT)
 
     def block_depth(self, delta: int) -> int:
         return min(self.max_depth, max(1, self.base_depth + delta))
@@ -80,22 +81,30 @@ class _ProxyBlock(Module):
     def __init__(self, max_width: int, max_expansion: int, rng: np.random.Generator, max_depth: int):
         self.max_width = max_width
         hidden = max_width * max_expansion
-        self.expands: List[MaskedDense] = [
-            MaskedDense(max_width, hidden, rng, activation_name="linear")
-            for _ in range(max_depth)
-        ]
-        self.projects: List[MaskedDense] = [
-            MaskedDense(hidden, max_width, rng, activation_name="linear")
-            for _ in range(max_depth)
-        ]
-        self.se_reduce: List[MaskedDense] = [
-            MaskedDense(max_width, max_width, rng, activation_name="relu")
-            for _ in range(max_depth)
-        ]
-        self.se_expand: List[MaskedDense] = [
-            MaskedDense(max_width, max_width, rng, activation_name="sigmoid")
-            for _ in range(max_depth)
-        ]
+        self.expands = ElasticLayerStack(
+            [
+                MaskedDense(max_width, hidden, rng, activation_name="linear")
+                for _ in range(max_depth)
+            ]
+        )
+        self.projects = ElasticLayerStack(
+            [
+                MaskedDense(hidden, max_width, rng, activation_name="linear")
+                for _ in range(max_depth)
+            ]
+        )
+        self.se_reduce = ElasticLayerStack(
+            [
+                MaskedDense(max_width, max_width, rng, activation_name="relu")
+                for _ in range(max_depth)
+            ]
+        )
+        self.se_expand = ElasticLayerStack(
+            [
+                MaskedDense(max_width, max_width, rng, activation_name="sigmoid")
+                for _ in range(max_depth)
+            ]
+        )
 
     def forward(
         self,
@@ -109,15 +118,19 @@ class _ProxyBlock(Module):
         skip: str,
     ) -> Tensor:
         act = activation_fn(act_name)
+        expands = self.expands.active(depth)
+        projects = self.projects.active(depth)
+        se_reduce = self.se_reduce.active(depth)
+        se_expand = self.se_expand.active(depth)
         for i in range(depth):
             layer_in = in_width if i == 0 else width
             hidden = width * expansion
-            h = act(self.expands[i](x, active_in=layer_in, active_out=hidden))
-            h = self.projects[i](h, active_in=hidden, active_out=width)
+            h = act(expands[i](x, active_in=layer_in, active_out=hidden))
+            h = projects[i](h, active_in=hidden, active_out=width)
             if se_ratio > 0:
                 se_width = max(1, int(round(width * se_ratio)))
-                gate = self.se_expand[i](
-                    self.se_reduce[i](h, active_in=width, active_out=se_width),
+                gate = se_expand[i](
+                    se_reduce[i](h, active_in=width, active_out=se_width),
                     active_in=se_width,
                     active_out=width,
                 )

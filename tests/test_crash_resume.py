@@ -194,6 +194,147 @@ class TestSupervisedCrashResume:
         assert_results_identical(reference, outcome.result, build().space)
 
 
+def build_elastic(seed=0, telemetry=None):
+    from repro.core import ElasticTraining
+    from repro.supernet import ShrinkSchedule
+
+    teacher = CtrTeacher(CtrTaskConfig(num_tables=NUM_TABLES, batch_size=16, seed=seed))
+    return ElasticTraining(
+        build_space(),
+        DlrmSuperNetwork(DlrmSupernetConfig(num_tables=NUM_TABLES, seed=seed)),
+        SingleStepPipeline(teacher.next_batch),
+        schedule=ShrinkSchedule.default(STEPS),
+        config=SearchConfig(
+            steps=STEPS, num_cores=2, warmup_steps=0, seed=seed, telemetry=telemetry
+        ),
+    )
+
+
+class TestElasticCrashResume:
+    """Progressive-shrinking training killed and resumed stays bit-identical.
+
+    ``ShrinkSchedule.default(10)`` switches phases at steps 3 and 6, so
+    kill points cover mid-phase (4), exactly at a phase boundary (3, 6),
+    and resuming *into* a later phase than the one that was running.
+    """
+
+    @pytest.mark.parametrize("kill_at", [3, 4, 6])
+    def test_resume_bit_identical(self, tmp_path, kill_at):
+        reference = build_elastic().run()
+
+        store = CheckpointStore(tmp_path / "ckpt", keep_last=2)
+        dying = build_elastic()
+        history = []
+        for step in range(kill_at):
+            history.append(dying.step(step))
+            store.save(step + 1, search_checkpoint_payload(dying, step + 1, history))
+        del dying
+
+        fresh = build_elastic()
+        next_step, history, report = resume_search(store, fresh)
+        assert report.resumed and next_step == kill_at
+        for step in range(next_step, fresh.config.steps):
+            history.append(fresh.step(step))
+        resumed = fresh.build_result(history)
+        assert_results_identical(reference, resumed, fresh.space)
+
+    def test_resumed_artifact_weights_bit_identical(self, tmp_path):
+        """The saved artifacts — not just the histories — match exactly."""
+        from repro.runtime import save_elastic_artifact
+
+        reference = build_elastic()
+        for step in range(STEPS):
+            reference.step(step)
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        dying = build_elastic()
+        history = []
+        for step in range(4):
+            history.append(dying.step(step))
+            store.save(step + 1, search_checkpoint_payload(dying, step + 1, history))
+        del dying
+        fresh = build_elastic()
+        next_step, history, _ = resume_search(store, fresh)
+        for step in range(next_step, STEPS):
+            fresh.step(step)
+
+        ref_art = save_elastic_artifact(
+            tmp_path / "ref", reference.supernet, reference.space,
+            reference.schedule, trained_steps=STEPS, seed=0,
+        )
+        res_art = save_elastic_artifact(
+            tmp_path / "res", fresh.supernet, fresh.space,
+            fresh.schedule, trained_steps=STEPS, seed=0,
+        )
+        assert ref_art.weights_sha == res_art.weights_sha
+
+        # A specialization against either artifact is bit-identical too.
+        from repro.service.jobs import specialization_builder
+
+        runs = []
+        for directory in (tmp_path / "ref", tmp_path / "res"):
+            space, factory = specialization_builder(directory, "tpu_v4", 4, 0)
+            runs.append(factory().run())
+        assert_results_identical(runs[0], runs[1], space)
+
+    def test_schedule_mismatch_rejected_on_resume(self, tmp_path):
+        """A snapshot from a different shrink schedule must not load."""
+        from repro.runtime import CheckpointError
+        from repro.supernet import ShrinkPhase, ShrinkSchedule
+
+        store = CheckpointStore(tmp_path)
+        search = build_elastic()
+        history = [search.step(0)]
+        store.save(1, search_checkpoint_payload(search, 1, history))
+
+        other = build_elastic()
+        other.schedule = ShrinkSchedule((ShrinkPhase("full", 0),))
+        with pytest.raises(CheckpointError, match="schedule"):
+            resume_search(store, other)
+
+
+class TestSpecializationCrashResume:
+    """Policy-only specialization killed mid-run resumes bit-identically."""
+
+    def _build(self, artifact_dir):
+        from repro.service.jobs import specialization_builder
+
+        space, factory = specialization_builder(artifact_dir, "tpu_v4i", STEPS, 0)
+        return space, factory
+
+    @pytest.mark.parametrize("kill_at", [2, 5])
+    def test_resume_bit_identical(self, tmp_path, kill_at):
+        from repro.runtime import save_elastic_artifact
+
+        trained = build_elastic()
+        for step in range(STEPS):
+            trained.step(step)
+        artifact_dir = tmp_path / "artifact"
+        save_elastic_artifact(
+            artifact_dir, trained.supernet, trained.space, trained.schedule,
+            trained_steps=STEPS, seed=0,
+        )
+
+        space, factory = self._build(artifact_dir)
+        reference = factory().run()
+
+        store = CheckpointStore(tmp_path / "ckpt", keep_last=2)
+        dying = factory()
+        history = []
+        for step in range(kill_at):
+            history.append(dying.step(step))
+            store.save(step + 1, search_checkpoint_payload(dying, step + 1, history))
+        del dying
+
+        fresh = factory()
+        next_step, history, report = resume_search(store, fresh)
+        assert report.resumed and next_step == kill_at
+        for step in range(next_step, fresh.config.steps):
+            history.append(fresh.step(step))
+        resumed = fresh.build_result(history)
+        assert_results_identical(reference, resumed, space)
+
+
 #: Run-scoped counters that must be bit-identical across crash/resume.
 RUN_COUNTERS = (
     "search.steps",
